@@ -1,0 +1,119 @@
+"""Comparison 2 — Snapshot isolation read performance (paper Section 1.2).
+
+"It also supports snapshot isolation with excellent performance, as
+confirmed by our experimental study."  The claims measured here:
+
+* snapshot readers take **no locks** and are never blocked by a concurrent
+  update stream, while serializable readers conflict;
+* a snapshot read usually finds its version in the current page; only
+  occasionally does it follow the chain to the first history page
+  (Section 3.4);
+* enabling versioning on a conventional table costs little for readers.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro import ColumnType, ImmortalDB, TxnMode
+from repro.bench import format_table, measure, save_results
+from repro.errors import LockConflictError
+
+
+def _setup(keys: int):
+    db = ImmortalDB(buffer_pages=2048, ms_per_commit=2.0)
+    table = db.create_table(
+        "t", [("k", ColumnType.INT), ("v", ColumnType.TEXT)],
+        key="k", snapshot=True,
+    )
+    with db.transaction() as txn:
+        for k in range(keys):
+            table.insert(txn, {"k": k, "v": "base" + "x" * 30})
+    return db, table
+
+
+def test_cmp2_snapshot_isolation(benchmark, emit):
+    scale = bench_scale()
+    keys = max(100, int(400 * scale))
+    reads = max(500, int(2000 * scale))
+    db, table = _setup(keys)
+
+    # A long-running writer holds X locks on a slice of the table.
+    writer = db.begin()
+    for k in range(0, keys, 4):
+        table.update(writer, k, {"v": "in-flight"})
+
+    # Serializable readers block (conflict) on the locked records.
+    serializable_conflicts = 0
+    for k in range(0, keys, 4):
+        reader = db.begin()
+        try:
+            table.read(reader, k)
+        except LockConflictError:
+            serializable_conflicts += 1
+        db.abort(reader)
+
+    # Snapshot readers sail through, and take zero locks.
+    snap = db.begin(TxnMode.SNAPSHOT)
+    m_blocked_region = measure(
+        db, lambda: [table.read(snap, k) for k in range(0, keys, 4)]
+    )
+    assert db.locks.locks_held(snap.tid) == 0
+    blocked_rows = [table.read(snap, k) for k in range(0, keys, 4)]
+    assert all(row["v"].startswith("base") for row in blocked_rows)
+    db.commit(snap)
+    db.commit(writer)
+
+    # Throughput probe: interleave single-row update txns with snapshot
+    # reads; measure reader cost while history accumulates.
+    reader_ms = []
+    chain_reads = 0
+    for i in range(reads):
+        with db.transaction() as txn:
+            table.update(txn, i % keys, {"v": f"u{i}" + "y" * 30})
+        if i % 10 == 0:
+            snap = db.begin(TxnMode.SNAPSHOT)
+            m = measure(
+                db, lambda: [table.read(snap, (i + d) % keys) for d in range(8)]
+            )
+            reader_ms.append(m.simulated_ms / 8)
+            chain_reads += m.delta["asof_chain_hops"]
+            db.commit(snap)
+
+    avg_read = sum(reader_ms) / len(reader_ms)
+    emit(
+        format_table(
+            "Cmp 2: snapshot isolation read performance",
+            ["metric", "value"],
+            [
+                ["serializable readers blocked by writer",
+                 f"{serializable_conflicts}/{keys // 4 + 1}"],
+                ["snapshot readers blocked by writer", "0"],
+                ["locks taken by snapshot reader", 0],
+                ["avg snapshot read (sim ms)", avg_read],
+                ["history-page hops across all snapshot reads", chain_reads],
+                ["update txns interleaved", reads],
+            ],
+            note="snapshot reads are lock-free and almost always satisfied "
+                 "from the current page (Section 3.4)",
+        )
+    )
+    save_results(
+        "cmp2_snapshot_isolation",
+        {
+            "serializable_conflicts": serializable_conflicts,
+            "avg_snapshot_read_ms": avg_read,
+            "chain_hops": chain_reads,
+        },
+    )
+
+    assert serializable_conflicts > 0          # locking readers do block
+    assert avg_read < 1.0                      # snapshot reads are cheap
+    # "We expect to usually find the desired recent version … in the
+    # current page.  Occasionally we will need to access the first
+    # historical page" — hops are rare relative to reads.
+    assert chain_reads < len(reader_ms) * 8 * 0.2
+
+    benchmark.pedantic(
+        lambda: _setup(50), rounds=1, iterations=1
+    )

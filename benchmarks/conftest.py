@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Scale control: set ``IMMORTAL_BENCH_SCALE=quick`` for a fast smoke run
+(~10x smaller); the default reproduces the paper's full transaction counts.
+Each bench prints its paper-shaped table through ``capsys.disabled()`` so
+it lands in ``bench_output.txt``, and persists rows to ``results/*.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """1.0 = the paper's full scale; quick mode shrinks workloads 10x."""
+    return 0.1 if os.environ.get("IMMORTAL_BENCH_SCALE") == "quick" else 1.0
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a report straight to the terminal (and bench_output.txt)."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit

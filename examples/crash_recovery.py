@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Crash recovery with unlogged timestamping — the paper's subtlest protocol.
+
+Demonstrates, end to end:
+
+* committed work (including history) survives a simulated power failure;
+* a transaction caught in flight is rolled back by recovery;
+* lazy timestamping is NEVER logged, yet finishes correctly after the
+  crash: redo recreates TID-marked record versions, and the persistent
+  timestamp table (whose entries survive precisely because garbage
+  collection is gated on the redo scan start point) supplies their
+  timestamps on the next access.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import ColumnType, ImmortalDB
+
+
+def main() -> None:
+    db = ImmortalDB()
+    inventory = db.create_table(
+        "Inventory",
+        columns=[
+            ("sku", ColumnType.INT),
+            ("stock", ColumnType.INT),
+        ],
+        key="sku",
+        immortal=True,
+    )
+
+    with db.transaction() as txn:
+        for sku in range(10):
+            inventory.insert(txn, {"sku": sku, "stock": 100})
+    baseline = db.now()
+
+    db.advance_time(5_000)
+    with db.transaction() as txn:
+        inventory.update(txn, 3, {"stock": 80})
+    committed_ts = txn.commit_ts
+    print(f"committed an update at {committed_ts}")
+
+    # A transaction is mid-flight when the power goes out...
+    doomed = db.begin()
+    inventory.update(doomed, 3, {"stock": -999})
+    inventory.update(doomed, 4, {"stock": -999})
+    db.log.force()          # even durable log records don't save a loser
+    db.buffer.flush_all()   # even its flushed pages don't
+
+    print("power failure!")
+    report = db.crash_and_recover()
+    print(f"recovery: {report.redo_applied} redo actions, "
+          f"losers rolled back: {report.losers} "
+          f"({report.undo_actions} undo actions)")
+    assert doomed.tid in report.losers
+
+    inventory = db.table("Inventory")
+    with db.transaction() as txn:
+        row3 = inventory.read(txn, 3)
+        row4 = inventory.read(txn, 4)
+    print(f"after recovery: sku 3 stock={row3['stock']}, "
+          f"sku 4 stock={row4['stock']}")
+    assert row3["stock"] == 80 and row4["stock"] == 100
+
+    # History survived too — including timestamps that were never logged.
+    assert inventory.read_as_of(baseline, 3)["stock"] == 100
+    versions = inventory.history(3)
+    assert versions[-1][0] == committed_ts, (
+        "the version redo recreated was re-stamped with the ORIGINAL "
+        "commit timestamp, recovered via the persistent timestamp table"
+    )
+    print(f"history of sku 3: "
+          f"{[(str(ts), row['stock']) for ts, row in versions]}")
+    print("unlogged lazy timestamping completed across the crash ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Queryable backup and point-in-time recovery (paper Section 7.2).
+
+"The data versions preserved in a transaction time database can be used to
+provide backup for the current database state.  Such a backup is done
+incrementally, is query-able, and can always be online" (Section 1.1).
+
+This example runs a small order-processing load, freezes a backup point,
+suffers an "erroneous transaction" that corrupts the table, and recovers by
+materializing the pre-corruption state — no backup media, no redo-log
+roll-forward, just the versions already in the database.
+
+Run:  python examples/queryable_backup.py
+"""
+
+from repro import ColumnType, ImmortalDB
+from repro.core.backup import QueryableBackup
+
+
+def main() -> None:
+    db = ImmortalDB()
+    orders = db.create_table(
+        "Orders",
+        columns=[
+            ("order_id", ColumnType.INT),
+            ("customer", ColumnType.TEXT),
+            ("status", ColumnType.TEXT),
+            ("total", ColumnType.INT),
+        ],
+        key="order_id",
+        immortal=True,
+    )
+
+    # Normal business: orders arrive and progress.
+    for i in range(40):
+        db.advance_time(60_000)
+        with db.transaction() as txn:
+            orders.insert(txn, {
+                "order_id": i, "customer": f"cust-{i % 7}",
+                "status": "placed", "total": 100 + i,
+            })
+    for i in range(0, 40, 2):
+        db.advance_time(60_000)
+        with db.transaction() as txn:
+            orders.update(txn, i, {"status": "shipped"})
+
+    backup = QueryableBackup(orders)
+    split_pages = backup.freeze()
+    safe_point = db.now()
+    status = backup.status()
+    print(f"backup frozen: {split_pages} pages time-split; "
+          f"{status.history_pages} history pages hold "
+          f"{status.history_versions} versions "
+          f"(always installed, incremental, online)")
+
+    # Disaster: an erroneous batch job zeroes every total.
+    db.advance_time(60_000)
+    with db.transaction() as txn:
+        for i in range(40):
+            orders.update(txn, i, {"total": 0, "status": "VOID"})
+    with db.transaction() as txn:
+        damaged = orders.scan(txn)
+    assert all(row["total"] == 0 for row in damaged)
+    print("erroneous transaction committed: all 40 orders voided")
+
+    # The backup is QUERYABLE without any restore step:
+    good_rows = orders.scan_as_of(safe_point)
+    shipped = sum(1 for r in good_rows if r["status"] == "shipped")
+    print(f"querying the backup directly: {len(good_rows)} orders, "
+          f"{shipped} shipped, revenue "
+          f"{sum(r['total'] for r in good_rows)}")
+
+    # Point-in-time recovery: materialize the safe state alongside.
+    restored = backup.restore_as_of(safe_point, "Orders_recovered")
+    with db.transaction() as txn:
+        rows = restored.scan(txn)
+    assert len(rows) == 40
+    assert all(row["total"] > 0 for row in rows)
+    print(f"restored {len(rows)} orders into Orders_recovered; "
+          f"the damaged table remains for forensics")
+
+    # And the whole thing survives a crash.
+    db.crash_and_recover()
+    restored = db.table("Orders_recovered")
+    with db.transaction() as txn:
+        assert len(restored.scan(txn)) == 40
+    assert len(db.table("Orders").scan_as_of(safe_point)) == 40
+    print("crash + recovery: backup and restore both intact ✓")
+
+
+if __name__ == "__main__":
+    main()

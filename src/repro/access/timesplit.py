@@ -1,0 +1,248 @@
+"""Page time splits (Section 3.3, Figure 3).
+
+A time split takes a full current page and the split time (the current
+time) and produces a new *history* page, assigning record versions by the
+paper's four cases:
+
+1. versions whose **end time is before the split time** move to the history
+   page;
+2. versions whose **lifetime spans the split time** are copied to the
+   history page and (redundantly) stay in the current page;
+3. versions whose lifetime **starts after the split time** stay in the
+   current page only;
+4. **uncommitted** versions stay in the current page only.
+
+Delete stubs earlier than the split time are removed from the current page
+(their only purpose is to end the prior version, which now lives in the
+history page).
+
+The redundancy of case 2 is the load-bearing invariant: *every page contains
+all the versions alive in its key × time region*, which is what makes direct
+(TSB-tree) indexing of historical pages possible.
+
+After the time split, if the current page's remaining utilization is still
+above the threshold ``T`` (the paper suggests 70 %), a key split is also
+needed; under usual assumptions single-timeslice utilization then converges
+to ``T · ln 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Timestamp
+from repro.errors import AccessMethodError
+from repro.storage.page import DataPage
+from repro.storage.record import RecordVersion
+
+DEFAULT_KEY_SPLIT_THRESHOLD = 0.70
+
+
+@dataclass
+class SplitOutcome:
+    """Result of a time split: rebuilt current page + new history page."""
+
+    current: DataPage
+    history: DataPage
+    moved: int = 0        # case 1 versions (history only)
+    copied: int = 0       # case 2 versions (both pages)
+    retained: int = 0     # case 3 + 4 versions (current only)
+    stubs_dropped: int = 0
+
+
+def time_split_page(
+    page: DataPage,
+    split_ts: Timestamp,
+    history_page_id: int,
+) -> SplitOutcome:
+    """Perform the four-case split of ``page`` at ``split_ts``.
+
+    Every *committed* version must already be timestamped (the caller runs
+    the lazy-timestamping trigger first — "only if we know the timestamps
+    for versions of records can we determine whether they belong on the
+    history page").  The caller supplies the page id allocated for the
+    history page; both returned pages are fresh in-memory objects, ready to
+    be installed and logged as one atomic structure modification.
+    """
+    if page.is_history:
+        raise AccessMethodError("history pages are read-only and never split")
+    if split_ts <= page.split_ts:
+        raise AccessMethodError(
+            f"split time {split_ts} does not advance past page start "
+            f"{page.split_ts}"
+        )
+
+    history = DataPage(
+        history_page_id,
+        is_history=True,
+        page_size=page.page_size,
+        table_id=page.table_id,
+        immortal=page.immortal,
+    )
+    # The history page inherits the current page's old time range start and
+    # is capped at the split time; it also inherits the link to the *older*
+    # history page, extending the page chain (Section 3.2).
+    history.split_ts = page.split_ts
+    history.end_ts = split_ts
+    history.history_page_id = page.history_page_id
+
+    current = DataPage(
+        page.page_id,
+        page_size=page.page_size,
+        table_id=page.table_id,
+        immortal=page.immortal,
+    )
+    current.lsn = page.lsn
+    current.split_ts = split_ts
+    current.history_page_id = history_page_id
+    current.next_leaf_id = page.next_leaf_id
+
+    outcome = SplitOutcome(current=current, history=history)
+
+    for key in page.keys():
+        chain = list(page.chain(key))  # newest first
+        tail_history_slot = page.continues_in_history(key)
+        _split_chain(chain, tail_history_slot, split_ts, current,
+                     history, outcome)
+    return outcome
+
+
+def _split_chain(
+    chain: list[RecordVersion],
+    tail_history_slot: int | None,
+    split_ts: Timestamp,
+    current: DataPage,
+    history: DataPage,
+    outcome: SplitOutcome,
+) -> None:
+    """Distribute one record's chain between the two pages."""
+    current_part: list[RecordVersion] = []
+    history_part: list[RecordVersion] = []
+
+    # Walk newest → oldest.  A version's end time is the start time of its
+    # successor (the previous element of the walk); the newest version's end
+    # is open.  Uncommitted versions are "newer than any time", so they
+    # never close their predecessor before the split time.
+    end_open = True
+    end_ts = Timestamp.MAX
+    for version in chain:
+        if not version.is_timestamped:
+            # Case 4: uncommitted — current page only.
+            if version.tid and not end_open:
+                raise AccessMethodError(
+                    "uncommitted version found below a committed one"
+                )
+            current_part.append(version.copy())
+            outcome.retained += 1
+            continue
+        start_ts = version.timestamp
+        if version.is_delete_stub and start_ts < split_ts:
+            # Stubs before the split time leave the current page; in the
+            # history page they end the version they deleted.
+            history_part.append(version.copy())
+            outcome.stubs_dropped += 1
+        elif start_ts >= split_ts:
+            # Case 3: born after the split time — current only.
+            current_part.append(version.copy())
+            outcome.retained += 1
+        elif not end_open and end_ts <= split_ts:
+            # Case 1: ended before the split time — history only.
+            history_part.append(version.copy())
+            outcome.moved += 1
+        else:
+            # Case 2: alive across the split time — copied to both.
+            current_part.append(version.copy())
+            history_part.append(version.copy())
+            outcome.copied += 1
+        end_open = False
+        end_ts = start_ts
+
+    if history_part:
+        history.add_chain(history_part, history_slot=tail_history_slot)
+    if current_part:
+        if history_part:
+            # The oldest current version continues in the new history page:
+            # its VP becomes the record's slot number there (Section 3.1).
+            slot = history.slot_of(current_part[0].key)
+            assert slot is not None
+            current.add_chain(current_part, history_slot=slot)
+        elif tail_history_slot is not None:
+            # No version moved now, but the chain already continued in an
+            # older history page; that older page is still reachable via the
+            # new history page's own chain link, so route through it only if
+            # the new history page lacks the key.  Keep the original slot —
+            # readers route by page time ranges, not by slot arithmetic.
+            current.add_chain(current_part, history_slot=tail_history_slot)
+        else:
+            current.add_chain(current_part)
+
+
+def needs_key_split(
+    page: DataPage, threshold: float = DEFAULT_KEY_SPLIT_THRESHOLD
+) -> bool:
+    """True when storage utilization after a time split stays above ``T``.
+
+    The check uses only the bytes a time split would leave behind (current
+    versions and uncommitted ones); if those alone exceed the threshold the
+    page must also key split, otherwise the very next updates would force
+    another immediate time split.
+    """
+    from repro.storage.constants import DATA_HEADER_SIZE
+
+    surviving = page.current_version_bytes() + DATA_HEADER_SIZE
+    return surviving / page.page_size > threshold
+
+
+def key_split_page(
+    page: DataPage, right_page_id: int
+) -> tuple[DataPage, DataPage, bytes]:
+    """Split a current page's key range in half by content bytes.
+
+    Whole version chains move with their key.  Both halves keep the page's
+    time-range start and its link to the history page — the history page
+    simply covers a wider key range than either child, which chain-based
+    readers handle naturally (they check time ranges, not key bounds).
+
+    Returns (left, right, separator_key); the separator is the lowest key of
+    the right page.
+    """
+    keys = page.keys()
+    if len(keys) < 2:
+        raise AccessMethodError(
+            f"page {page.page_id} has {len(keys)} key(s); cannot key split"
+        )
+    # Find the key boundary closest to half the record bytes.
+    chain_bytes = {
+        key: sum(v.size_on_page for v in page.chain(key)) for key in keys
+    }
+    total = sum(chain_bytes.values())
+    running = 0
+    cut = 1
+    for i, key in enumerate(keys):
+        running += chain_bytes[key]
+        if running >= total / 2:
+            cut = min(max(i + 1, 1), len(keys) - 1)
+            break
+
+    def build(page_id: int, subset: list[bytes]) -> DataPage:
+        child = DataPage(
+            page_id,
+            page_size=page.page_size,
+            table_id=page.table_id,
+            immortal=page.immortal,
+        )
+        child.split_ts = page.split_ts
+        child.end_ts = page.end_ts
+        child.history_page_id = page.history_page_id
+        for key in subset:
+            chain = [v.copy() for v in page.chain(key)]
+            child.add_chain(chain, history_slot=page.continues_in_history(key))
+        return child
+
+    left = build(page.page_id, keys[:cut])
+    left.lsn = page.lsn
+    right = build(right_page_id, keys[cut:])
+    # Leaf sibling chain: left -> right -> old next.
+    right.next_leaf_id = page.next_leaf_id
+    left.next_leaf_id = right.page_id
+    return left, right, keys[cut]

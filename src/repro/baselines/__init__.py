@@ -1,0 +1,30 @@
+"""Executable baselines for the related systems of Section 6.
+
+The paper compares Immortal DB *architecturally* against Rdb, Oracle
+Flashback, and Postgres.  We implement the essence of each approach over
+the same storage substrate so the qualitative claims become measurable:
+
+* :mod:`repro.baselines.rdb_commitlist` — Rdb-style snapshot reads via
+  commit lists: no timestamping revisit, but only *snapshot* reads; an
+  AS OF query for an arbitrary past time is impossible by construction.
+* :mod:`repro.baselines.flashback` — Oracle-Flashback-style versioning from
+  retained undo: AS OF reconstructs a record by scanning undo backwards
+  from the current state, so cost grows with history depth.
+* :mod:`repro.baselines.postgres_style` — Postgres-style two-store
+  versioning: a vacuum process moves old versions to a separate archive,
+  and an as-of query must probe both the current store and the archive.
+
+The conventional (non-versioned) table baseline used by Fig 5 is simply an
+engine table created with ``immortal=False`` — by design it shares the
+code path of immortal tables minus the versioning work.
+"""
+
+from repro.baselines.rdb_commitlist import RdbCommitListTable
+from repro.baselines.flashback import FlashbackTable
+from repro.baselines.postgres_style import PostgresStyleTable
+
+__all__ = [
+    "RdbCommitListTable",
+    "FlashbackTable",
+    "PostgresStyleTable",
+]

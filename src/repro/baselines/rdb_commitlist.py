@@ -1,0 +1,143 @@
+"""Rdb-style snapshot versioning with commit lists (Section 6.1).
+
+Oracle Rdb avoids timestamping entirely: an update transaction stamps its
+versions with its TSN (transaction sequence number), and a snapshot read
+transaction receives, at begin, the **commit list** — the set of TSNs
+committed at that moment (bounded below by a low-water mark under which
+everything is known committed).  A read walks back from the current version
+to the first version whose TSN is on its list.
+
+What this buys and what it costs, both reproduced here:
+
+* no revisit of records after commit, no persistent timestamp table;
+* **but** "the commit list approach does not generalize to support queries
+  that ask for results as of an arbitrary past time … Generating commit
+  lists for earlier times is not possible" — :meth:`as_of_read` raises.
+* versions do not survive a crash (:meth:`crash` empties the version store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ImmortalDBError, KeyNotFoundError
+
+
+class AsOfNotSupportedError(ImmortalDBError):
+    """Commit lists cannot answer arbitrary-past AS OF queries."""
+
+
+@dataclass
+class _Version:
+    tsn: int
+    value: dict
+
+
+@dataclass
+class CommitList:
+    """A snapshot transaction's view: low-water mark + explicit TSNs."""
+
+    low_water: int                 # every TSN <= this is committed
+    explicit: frozenset[int]       # committed TSNs above the mark
+    own_tsn: int                   # TSNs >= this are certainly uncommitted
+
+    def sees(self, tsn: int) -> bool:
+        if tsn <= self.low_water:
+            return True
+        if tsn >= self.own_tsn:
+            return False
+        return tsn in self.explicit
+
+
+@dataclass
+class Metrics:
+    versions_walked: int = 0
+    snapshot_reads: int = 0
+
+
+class RdbCommitListTable:
+    """Current store + transient snapshot version chains, Rdb style."""
+
+    def __init__(self) -> None:
+        self._current: dict = {}                 # key -> _Version
+        self._history: dict = {}                 # key -> [older _Version ...]
+        self._next_tsn = 1
+        self._committed: set[int] = set()
+        self._low_water = 0
+        self.metrics = Metrics()
+
+    # -- update transactions ----------------------------------------------------
+
+    def begin_update(self) -> int:
+        tsn = self._next_tsn
+        self._next_tsn += 1
+        return tsn
+
+    def write(self, tsn: int, key, value: dict) -> None:
+        old = self._current.get(key)
+        if old is not None:
+            self._history.setdefault(key, []).insert(0, old)
+        self._current[key] = _Version(tsn, dict(value))
+
+    def commit(self, tsn: int) -> None:
+        self._committed.add(tsn)
+        while self._low_water + 1 in self._committed:
+            self._low_water += 1
+            self._committed.discard(self._low_water)
+
+    # -- snapshot reads ------------------------------------------------------------
+
+    def begin_snapshot(self) -> CommitList:
+        """Hand the reader its commit list, valid only for *this* moment."""
+        return CommitList(
+            low_water=self._low_water,
+            explicit=frozenset(self._committed),
+            own_tsn=self._next_tsn,
+        )
+
+    def snapshot_read(self, commit_list: CommitList, key) -> dict:
+        """Walk back to the first version whose TSN is on the list."""
+        self.metrics.snapshot_reads += 1
+        chain = []
+        if key in self._current:
+            chain.append(self._current[key])
+        chain.extend(self._history.get(key, []))
+        for version in chain:
+            self.metrics.versions_walked += 1
+            if commit_list.sees(version.tsn):
+                return dict(version.value)
+        raise KeyNotFoundError(f"key {key!r} invisible to this snapshot")
+
+    # -- the architectural limits -------------------------------------------------------
+
+    def as_of_read(self, when, key) -> dict:
+        """Arbitrary-past AS OF: impossible with commit lists."""
+        raise AsOfNotSupportedError(
+            "Rdb commit lists exist only for currently-running snapshot "
+            "transactions; a commit list for an earlier time cannot be "
+            "generated (paper Section 6.1)"
+        )
+
+    def crash(self) -> None:
+        """Versions do not survive a crash; only current state remains."""
+        self._history.clear()
+
+    def garbage_collect(self, oldest_active: CommitList | None) -> int:
+        """Drop versions no active snapshot can need."""
+        dropped = 0
+        for key, versions in list(self._history.items()):
+            if oldest_active is None:
+                dropped += len(versions)
+                del self._history[key]
+                continue
+            keep: list[_Version] = []
+            satisfied = False
+            for version in versions:
+                if satisfied:
+                    dropped += 1
+                    continue
+                keep.append(version)
+                if oldest_active.sees(version.tsn):
+                    satisfied = True
+            self._history[key] = keep
+        return dropped

@@ -1,0 +1,33 @@
+"""Benchmark infrastructure: cost model, drivers, reporting.
+
+The paper's absolute numbers come from 2005 hardware (2.8 GHz P4, one
+spinning disk).  Our substrate is a simulator, so each bench reports two
+measurements:
+
+* **wall-clock** seconds of the Python implementation (pytest-benchmark),
+  useful for regression tracking but not comparable to the paper, and
+* **simulated milliseconds** from :class:`~repro.bench.costmodel.CostModel`,
+  which converts counted physical events (log forces, page I/O, PTT
+  operations, stamping work) into time on the paper's hardware — this is
+  the number whose *shape* should match the paper's figures.
+"""
+
+from repro.bench.costmodel import CostModel, COST_2005
+from repro.bench.harness import (
+    apply_event,
+    fresh_moving_objects_db,
+    measure,
+    run_moving_object_stream,
+)
+from repro.bench.reporting import format_table, save_results
+
+__all__ = [
+    "CostModel",
+    "COST_2005",
+    "measure",
+    "fresh_moving_objects_db",
+    "apply_event",
+    "run_moving_object_stream",
+    "format_table",
+    "save_results",
+]

@@ -1,0 +1,103 @@
+"""Drivers shared by the benchmark suite."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.costmodel import COST_2005, CostModel, stats_delta
+from repro.clock import Timestamp
+from repro.core.engine import ImmortalDB
+from repro.core.rowcodec import ColumnType
+from repro.core.table import Table
+from repro.workloads.moving_objects import MovingObjectEvent, MovingObjectWorkload
+
+MOVING_OBJECT_COLUMNS = [
+    ("Oid", ColumnType.SMALLINT),
+    ("LocationX", ColumnType.INT),
+    ("LocationY", ColumnType.INT),
+]
+
+
+def fresh_moving_objects_db(
+    *,
+    immortal: bool = True,
+    timestamping: str = "lazy",
+    use_tsb_index: bool = False,
+    buffer_pages: int = 4096,
+) -> tuple[ImmortalDB, Table]:
+    """An engine plus the paper's MovingObjects table (Section 4.1)."""
+    db = ImmortalDB(
+        buffer_pages=buffer_pages,
+        timestamping=timestamping,
+        use_tsb_index=use_tsb_index,
+        ms_per_commit=0.0,   # the workload drives the clock explicitly
+    )
+    table = db.create_table(
+        "MovingObjects", MOVING_OBJECT_COLUMNS, key="Oid", immortal=immortal
+    )
+    return db, table
+
+
+def apply_event(db: ImmortalDB, table: Table, event: MovingObjectEvent) -> None:
+    """Apply one workload event as one transaction, advancing the clock."""
+    now_ms = db.clock.tick * 20.0
+    if event.time_ms > now_ms:
+        db.clock.advance_ms(event.time_ms - now_ms)
+    with db.transaction() as txn:
+        if event.kind == "insert":
+            table.insert(
+                txn,
+                {"Oid": event.oid, "LocationX": event.x, "LocationY": event.y},
+            )
+        else:
+            table.update(
+                txn, event.oid, {"LocationX": event.x, "LocationY": event.y}
+            )
+
+
+def run_moving_object_stream(
+    db: ImmortalDB,
+    table: Table,
+    *,
+    objects: int = 500,
+    transactions: int = 32_000,
+    seed: int = 7,
+    mark_every: int | None = None,
+) -> list[Timestamp]:
+    """Replay ``transactions`` moving-object events; returns time marks.
+
+    ``mark_every`` captures ``db.now()`` every N transactions (for as-of
+    probes over the run's history).
+    """
+    workload = MovingObjectWorkload(objects=objects, seed=seed)
+    marks: list[Timestamp] = []
+    for i, event in enumerate(workload.events(max_events=transactions)):
+        if mark_every is not None and i % mark_every == 0:
+            marks.append(db.now())
+        apply_event(db, table, event)
+    marks.append(db.now())
+    return marks
+
+
+@dataclass
+class Measurement:
+    wall_seconds: float
+    simulated_ms: float
+    delta: dict
+
+
+def measure(
+    db: ImmortalDB,
+    fn: Callable[[], object],
+    *,
+    cost_model: CostModel = COST_2005,
+) -> Measurement:
+    """Run ``fn`` once, returning wall time + simulated time + raw deltas."""
+    before = db.stats()
+    start = time.perf_counter()
+    fn()
+    wall = time.perf_counter() - start
+    delta = stats_delta(before, db.stats())
+    return Measurement(wall, cost_model.simulated_ms(delta), delta)

@@ -1,0 +1,68 @@
+"""ASCII tables and result persistence for the benchmark suite."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    note: str | None = None,
+) -> str:
+    """Render an aligned ASCII table (what each bench prints)."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        "",
+        f"=== {title} ===",
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        sep,
+    ]
+    for row in cells:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    if note:
+        lines.append(f"  note: {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def results_dir() -> str:
+    base = os.environ.get(
+        "IMMORTAL_RESULTS_DIR",
+        os.path.join(os.path.dirname(__file__), "..", "..", "..", "results"),
+    )
+    path = os.path.abspath(base)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_results(name: str, payload: dict) -> str:
+    """Persist a bench's rows as JSON under results/; returns the path."""
+    path = os.path.join(results_dir(), f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+    return path

@@ -1,0 +1,35 @@
+"""Concurrency control: locking, transactions, snapshot isolation.
+
+SQL Server (and hence Immortal DB) supports serializable transactions via
+fine-grained locking *and* snapshot isolation where readers never block
+(Section 2.1).  This package provides both:
+
+* :mod:`repro.concurrency.locks` — a lock manager with S/X record locks and
+  IS/IX table intents,
+* :mod:`repro.concurrency.transaction` — the transaction manager: TID
+  allocation, late (commit-time) timestamp choice so timestamp order always
+  agrees with serialization order, rollback via the log backchain,
+* :mod:`repro.concurrency.snapshot` — snapshot visibility rules, the
+  oldest-active-snapshot watermark, and version garbage collection for
+  conventional (non-immortal) tables.
+"""
+
+from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.transaction import (
+    Transaction,
+    TransactionManager,
+    TxnMode,
+    TxnState,
+)
+from repro.concurrency.snapshot import SnapshotRegistry, prune_conventional_page
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TxnMode",
+    "TxnState",
+    "SnapshotRegistry",
+    "prune_conventional_page",
+]

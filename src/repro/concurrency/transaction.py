@@ -1,0 +1,245 @@
+"""Transactions: TID allocation, late timestamping, commit, rollback.
+
+The key Immortal DB decision reproduced here (Section 2.1): a transaction's
+timestamp is chosen **at commit**, after its serialization order is known,
+so timestamp order always equals serialization order — unlike
+timestamp-order concurrency control, which picks early and must abort
+transactions that serialize differently.
+
+Commit processing for an update transaction is exactly the paper's stage
+III: choose the timestamp, do the *single* PTT insert (via the timestamp
+manager), append and force the commit record, release locks.  No updated
+record is revisited (that is lazy timestamping's job, stage IV).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.clock import SimClock, Timestamp
+from repro.errors import ReadOnlyTransactionError, TransactionStateError
+from repro.concurrency.locks import LockManager
+from repro.timestamp.manager import TimestampManager
+from repro.wal.log import LogManager
+from repro.wal.records import (
+    AbortEnd,
+    AbortTxn,
+    BeginTxn,
+    CommitTxn,
+    InPlaceUpdate,
+    LogRecord,
+    TxnPhase,
+    VersionOp,
+)
+from repro.wal import recovery as _recovery
+
+
+class TxnMode(enum.Enum):
+    SERIALIZABLE = "serializable"   # fine-grained 2PL
+    SNAPSHOT = "snapshot"           # snapshot isolation: lock-free reads
+    AS_OF = "as_of"                 # read-only historical transaction
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One transaction's volatile state."""
+
+    tid: int
+    mode: TxnMode
+    state: TxnState = TxnState.ACTIVE
+    last_lsn: int = 0                 # backchain head for rollback
+    logged_begin: bool = False        # BeginTxn is logged lazily at first write
+    snapshot_ts: Timestamp | None = None   # visibility horizon (snapshot / as-of)
+    commit_ts: Timestamp | None = None
+    pinned_ts: Timestamp | None = None     # set by CURRENT TIME (§7.2)
+    writes: set[tuple[int, bytes]] = field(default_factory=set)
+    touched_immortal: bool = False
+    version_count: int = 0
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes and self.version_count == 0
+
+    @property
+    def is_historical(self) -> bool:
+        return self.mode is TxnMode.AS_OF
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.tid} is {self.state.value}"
+            )
+
+    def require_writable(self) -> None:
+        self.require_active()
+        if self.is_historical:
+            raise ReadOnlyTransactionError(
+                f"transaction {self.tid} is a read-only AS OF transaction"
+            )
+
+
+class TransactionManager:
+    """Begin/commit/abort orchestration over the log and timestamp manager."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        log: LogManager,
+        tsmgr: TimestampManager,
+        locks: LockManager,
+        support: "_recovery.RecoverySupport",
+    ) -> None:
+        self.clock = clock
+        self.log = log
+        self.tsmgr = tsmgr
+        self.locks = locks
+        self.support = support           # the engine (locator, buffer)
+        self.next_tid = 1
+        self.active: dict[int, Transaction] = {}
+        self.commits = 0
+        self.aborts = 0
+
+    # -- begin -------------------------------------------------------------
+
+    def begin(
+        self,
+        mode: TxnMode = TxnMode.SERIALIZABLE,
+        *,
+        as_of: Timestamp | None = None,
+    ) -> Transaction:
+        if as_of is not None and mode is not TxnMode.AS_OF:
+            raise TransactionStateError("as_of requires TxnMode.AS_OF")
+        tid = self.next_tid
+        self.next_tid += 1
+        txn = Transaction(tid=tid, mode=mode)
+        if mode is TxnMode.SNAPSHOT:
+            txn.snapshot_ts = self.clock.now()
+        elif mode is TxnMode.AS_OF:
+            if as_of is None:
+                raise TransactionStateError("AS OF transaction needs a timestamp")
+            txn.snapshot_ts = as_of
+        self.tsmgr.on_begin(tid, is_snapshot=mode is TxnMode.SNAPSHOT)
+        self.active[tid] = txn
+        return txn
+
+    # -- logging helpers (called by the table layer) ----------------------------
+
+    def log_update(self, txn: Transaction, record: LogRecord) -> int:
+        """Append a txn-scoped update record, maintaining the backchain."""
+        txn.require_writable()
+        if not txn.logged_begin:
+            begin_lsn = self.log.append(BeginTxn(tid=txn.tid))
+            txn.last_lsn = begin_lsn
+            txn.logged_begin = True
+        record.tid = txn.tid
+        record.prev_lsn = txn.last_lsn
+        lsn = self.log.append(record)
+        txn.last_lsn = lsn
+        return lsn
+
+    # -- CURRENT TIME (paper Section 7.2, built as an extension) ------------------
+
+    def current_time(self, txn: Transaction) -> Timestamp:
+        """SQL CURRENT TIME: a time consistent with the commit timestamp.
+
+        Answering forces the timestamp to be chosen *earlier* than commit
+        (the paper's §7.2 observation).  We pin it now; the table layer then
+        validates every subsequent access against the pinned time — reading
+        or overwriting a version committed after the pin would put the
+        transaction's serialization point after its timestamp, so such
+        accesses raise and the transaction must abort (the cost of early
+        choice that Section 2.1 describes for TO schemes).
+        """
+        txn.require_active()
+        if txn.is_historical:
+            assert txn.snapshot_ts is not None
+            return txn.snapshot_ts
+        if txn.pinned_ts is None:
+            txn.pinned_ts = self.clock.next_timestamp()
+        return txn.pinned_ts
+
+    # -- commit -----------------------------------------------------------------
+
+    def commit(self, txn: Transaction) -> Timestamp | None:
+        """Commit; returns the commit timestamp (None for pure readers)."""
+        txn.require_active()
+        if txn.is_read_only:
+            txn.state = TxnState.COMMITTED
+            self.tsmgr.on_abort(txn.tid)  # drop the (empty) VTT entry
+            self._finish(txn)
+            return None
+
+        # Late choice: the timestamp is drawn now, when serialization order
+        # is settled, guaranteeing timestamp order == serialization order —
+        # unless CURRENT TIME already pinned one (validated at every access).
+        ts = txn.pinned_ts if txn.pinned_ts is not None \
+            else self.clock.next_timestamp()
+        txn.commit_ts = ts
+        # Eager mode does its revisit-and-stamp work here; lazy does nothing.
+        self.tsmgr.on_commit_prepare(txn.tid, ts)
+        commit_lsn = self.log.append(
+            CommitTxn(
+                tid=txn.tid,
+                prev_lsn=txn.last_lsn,
+                ttime=ts.ttime,
+                sn=ts.sn,
+                ptt=txn.touched_immortal,
+            )
+        )
+        self.log.force(commit_lsn)
+        self.tsmgr.on_commit(
+            txn.tid, ts, commit_lsn, persistent=txn.touched_immortal
+        )
+        txn.state = TxnState.COMMITTED
+        self._finish(txn)
+        self.commits += 1
+        return ts
+
+    # -- abort ----------------------------------------------------------------------
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back every update via the log backchain, writing CLRs."""
+        txn.require_active()
+        if not txn.is_read_only:
+            self.log.append(AbortTxn(tid=txn.tid, prev_lsn=txn.last_lsn))
+            lsn = txn.last_lsn
+            prev_clr = 0
+            while lsn:
+                rec = self.log.record_at(lsn)
+                if isinstance(rec, (VersionOp, InPlaceUpdate)):
+                    prev_clr = _recovery._undo_update(self.support, rec, prev_clr)
+                    lsn = rec.prev_lsn
+                elif isinstance(rec, BeginTxn):
+                    break
+                else:
+                    lsn = rec.prev_lsn
+            self.log.append(AbortEnd(tid=txn.tid, prev_lsn=prev_clr))
+        self.tsmgr.on_abort(txn.tid)
+        txn.state = TxnState.ABORTED
+        self._finish(txn)
+        self.aborts += 1
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    def _finish(self, txn: Transaction) -> None:
+        self.locks.release_all(txn.tid)
+        self.active.pop(txn.tid, None)
+
+    def att_snapshot(self) -> dict[int, tuple[int, int]]:
+        """{tid: (last_lsn, phase)} of update transactions, for checkpoints."""
+        return {
+            tid: (txn.last_lsn, int(TxnPhase.ACTIVE))
+            for tid, txn in self.active.items()
+            if txn.logged_begin
+        }
+
+    def adopt_tid_floor(self, max_seen_tid: int) -> None:
+        """After recovery: never reuse a TID that appears in the log or PTT."""
+        self.next_tid = max(self.next_tid, max_seen_tid + 1)

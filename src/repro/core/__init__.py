@@ -1,0 +1,46 @@
+"""The Immortal DB engine: tables, transactions, AS OF queries, backup.
+
+This is the public face of the library.  Typical use::
+
+    from repro import ImmortalDB, ColumnType
+
+    db = ImmortalDB()
+    db.create_table(
+        "MovingObjects",
+        columns=[("Oid", ColumnType.SMALLINT),
+                 ("LocationX", ColumnType.INT),
+                 ("LocationY", ColumnType.INT)],
+        key="Oid",
+        immortal=True,
+    )
+    with db.transaction() as txn:
+        db.table("MovingObjects").insert(txn, {"Oid": 1,
+                                                "LocationX": 10,
+                                                "LocationY": 20})
+    ...
+    rows = db.table("MovingObjects").scan_as_of(some_past_timestamp)
+"""
+
+from repro.core.rowcodec import ColumnType, RowCodec
+from repro.core.catalog import Catalog, ColumnDef, TableSchema
+from repro.core.table import Table
+from repro.core.engine import ImmortalDB
+from repro.core.backup import QueryableBackup
+from repro.core.inspect import TableInspection, format_report, inspect_table
+from repro.core.integrity import IntegrityError, verify_integrity
+
+__all__ = [
+    "ColumnType",
+    "RowCodec",
+    "Catalog",
+    "ColumnDef",
+    "TableSchema",
+    "Table",
+    "ImmortalDB",
+    "QueryableBackup",
+    "inspect_table",
+    "TableInspection",
+    "format_report",
+    "verify_integrity",
+    "IntegrityError",
+]

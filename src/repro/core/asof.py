@@ -1,0 +1,97 @@
+"""AS OF query machinery: routing by time, then by version chain.
+
+Query processing follows Section 4.2 exactly:
+
+1. traverse the B-tree on the primary key to the *current* page;
+2. check the current page's **split time** — if the as-of time is later, the
+   version we want is in the current page;
+3. otherwise follow the time-split page chain back to the page whose
+   ``[split time, end time)`` range contains the as-of time (or, with the
+   TSB-tree, jump straight to it);
+4. follow the record's version chain *within that one page* to the version
+   with the largest timestamp ≤ the as-of time.
+
+Step 4 only ever needs one page because of the time split's case-2
+redundancy: every page contains all versions alive in its time range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Timestamp
+from repro.concurrency.snapshot import Resolver, visible_version
+from repro.errors import AccessMethodError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import DataPage
+from repro.storage.record import RecordVersion
+
+
+@dataclass
+class AsOfStats:
+    """Instrumentation for the Fig-6 / Abl-2 benches."""
+
+    queries: int = 0
+    chain_hops: int = 0          # history pages walked through
+    pages_examined: int = 0
+    tsb_lookups: int = 0
+
+    def snapshot(self) -> "AsOfStats":
+        """An independent copy of the current counter values."""
+        return AsOfStats(
+            self.queries, self.chain_hops, self.pages_examined, self.tsb_lookups
+        )
+
+
+def page_for_time(
+    buffer: BufferPool,
+    leaf: DataPage,
+    ts: Timestamp,
+    stats: AsOfStats | None = None,
+) -> DataPage | None:
+    """Walk the time-split chain from a current leaf to the page covering ``ts``.
+
+    Returns None when ``ts`` predates all recorded history for this leaf's
+    key region (the table held no data for it then).
+    """
+    page: DataPage = leaf
+    hops = 0
+    while ts < page.split_ts:
+        next_pid = page.history_page_id
+        if not next_pid:
+            if stats is not None:
+                stats.chain_hops += hops
+            return None
+        nxt = buffer.get_page(next_pid)
+        if not isinstance(nxt, DataPage) or not nxt.is_history:
+            raise AccessMethodError(
+                f"history chain of page {page.page_id} hit non-history "
+                f"page {next_pid}"
+            )
+        page = nxt
+        hops += 1
+    if stats is not None:
+        stats.chain_hops += hops
+        stats.pages_examined += 1
+    if page.is_history and ts >= page.end_ts:
+        raise AccessMethodError(
+            f"page chain routing error: {ts} not in "
+            f"[{page.split_ts}, {page.end_ts}) of page {page.page_id}"
+        )
+    return page
+
+
+def version_as_of(
+    page: DataPage,
+    key: bytes,
+    ts: Timestamp,
+    resolve: Resolver,
+) -> RecordVersion | None:
+    """The version of ``key`` with the largest timestamp ≤ ``ts`` in ``page``.
+
+    Returns the version (possibly a delete stub — the caller interprets it)
+    or None if the record did not exist at ``ts``.
+    """
+    return visible_version(
+        page.chain(key), horizon=ts, inclusive=True, resolve=resolve
+    )

@@ -1,0 +1,432 @@
+"""The Immortal DB engine: component wiring, DDL, transactions, recovery.
+
+One :class:`ImmortalDB` instance is one database: a page store, a buffer
+pool, a write-ahead log, the simulated clock, the lazy (or eager) timestamp
+manager with its PTT/VTT, a lock manager, and the catalog of tables.
+
+The engine doubles as the :class:`~repro.wal.recovery.RecoverySupport`
+object — it owns everything recovery needs, plus the ``locate_current_page``
+locator used by logical undo and by eager timestamping's commit revisits.
+
+Crash testing is first-class: :meth:`crash` throws away all volatile state
+(buffer pool, VTT, locks, active transactions, the unforced log suffix) and
+:meth:`recover` brings the database back via analysis/redo/undo — the same
+path a restart after a real failure would take.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.clock import SimClock, Timestamp
+from repro.concurrency.locks import LockManager
+from repro.concurrency.snapshot import SnapshotRegistry, prune_conventional_page
+from repro.concurrency.transaction import Transaction, TransactionManager, TxnMode
+from repro.core.asof import AsOfStats
+from repro.core.catalog import Catalog, ColumnDef, TableSchema
+from repro.core.rowcodec import ColumnType
+from repro.core.table import Table
+from repro.errors import CatalogError, SchemaError, TableNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import META_PAGE_ID, PAGE_SIZE
+from repro.storage.disk import FileDisk, InMemoryDisk, PageStore
+from repro.storage.page import DataPage, MetaPage
+from repro.timestamp.eager import EagerTimestampManager
+from repro.timestamp.manager import TimestampManager
+from repro.timestamp.ptt import PersistentTimestampTable
+from repro.wal.checkpoint import CheckpointManager
+from repro.wal.filelog import FileLogManager
+from repro.wal.log import LogManager
+from repro.wal.recovery import RecoveryReport, run_recovery
+from repro.access.btree import BTree
+from repro.access.tsbtree import TSBHistoryIndex
+
+ColumnsArg = list[tuple[str, ColumnType | str]]
+
+
+class ImmortalDB:
+    """A transaction-time database engine (the paper's Immortal DB)."""
+
+    def __init__(
+        self,
+        path: str | None = None,
+        *,
+        page_size: int = PAGE_SIZE,
+        buffer_pages: int = 1024,
+        timestamping: str = "lazy",
+        use_tsb_index: bool = False,
+        key_split_threshold: float = 0.70,
+        ms_per_commit: float = 5.0,
+        clock: SimClock | None = None,
+    ) -> None:
+        if timestamping not in ("lazy", "eager"):
+            raise ValueError("timestamping must be 'lazy' or 'eager'")
+        self.disk: PageStore = (
+            FileDisk(path, page_size) if path else InMemoryDisk(page_size)
+        )
+        self.clock = clock or SimClock(ms_per_timestamp=ms_per_commit)
+        # File-backed databases get a file-backed log, so a process that
+        # dies without close() recovers on the next open.
+        self.log: LogManager = (
+            FileLogManager(str(path) + ".log") if path else LogManager()
+        )
+        self.buffer = BufferPool(self.disk, buffer_pages)
+        self.buffer.log_force = self.log.force
+        self.timestamping = timestamping
+        self.use_tsb_index = use_tsb_index
+        self.key_split_threshold = key_split_threshold
+
+        self.catalog = self._load_catalog()
+        ptt_root = self.catalog.ptt_root_pid or None
+        self.ptt = PersistentTimestampTable(self.buffer, ptt_root)
+        manager_cls = (
+            EagerTimestampManager if timestamping == "eager" else TimestampManager
+        )
+        self.tsmgr: TimestampManager = manager_cls(self.log, self.buffer, self.ptt)
+        self.tsmgr.locator = self.locate_current_page
+        self.locks = LockManager()
+        self.txn_mgr = TransactionManager(
+            self.clock, self.log, self.tsmgr, self.locks, self
+        )
+        self.checkpoints = CheckpointManager(self.log, self.buffer)
+        self.snapshots = SnapshotRegistry()
+        self.asof_stats = AsOfStats()
+        self.version_ops = 0       # record versions created (cost model)
+        self.tables: dict[str, Table] = {}
+        self._tables_by_id: dict[int, Table] = {}
+        self._open_tables()
+        if ptt_root is None:
+            self._save_meta()
+        if path and len(self.log):
+            # An existing database: run restart recovery.  After a clean
+            # shutdown this is a cheap scan from the last checkpoint; after
+            # a hard kill it redoes/undoes as needed.  Either way it also
+            # restores the TID floor so TIDs never repeat across opens.
+            self.recover()
+
+    # -- catalog / DDL -------------------------------------------------------
+
+    def _load_catalog(self) -> Catalog:
+        raw = self.disk.read_page(META_PAGE_ID)
+        meta = MetaPage.from_bytes(raw)
+        return Catalog.from_blob(meta.blob)
+
+    def _save_meta(self) -> None:
+        """Write the boot page through to disk (durable immediately)."""
+        self.catalog.ptt_root_pid = self.ptt.root_pid
+        meta = MetaPage(
+            META_PAGE_ID, self.catalog.to_blob(), page_size=self.disk.page_size
+        )
+        self.buffer.replace_page(meta)
+        self.buffer.flush_page(META_PAGE_ID)
+
+    def _open_tables(self) -> None:
+        for schema in self.catalog.tables.values():
+            self._attach_table(schema)
+
+    def _attach_table(self, schema: TableSchema) -> Table:
+        btree = BTree(
+            self.buffer,
+            self.log,
+            self.clock,
+            schema.table_id,
+            immortal=schema.immortal,
+            root_pid=schema.root_pid,
+            key_split_threshold=self.key_split_threshold,
+        )
+        history_index = None
+        if schema.tsb_root_pid:
+            history_index = TSBHistoryIndex(
+                self.buffer, schema.table_id, schema.tsb_root_pid
+            )
+        btree.stamp_page = self.tsmgr.stamp_page
+        btree.history_index = history_index
+        table = Table(self, schema, btree, history_index)
+        if not schema.immortal:
+            btree.prune_page = self._make_prune_hook(table)
+        self.tables[schema.name] = table
+        self._tables_by_id[schema.table_id] = table
+        return table
+
+    def _make_prune_hook(self, table: Table):
+        def prune(leaf: DataPage):
+            self.tsmgr.stamp_page(leaf)
+            return prune_conventional_page(
+                leaf, self.snapshots.oldest(), table._resolve
+            )
+
+        return prune
+
+    def create_table(
+        self,
+        name: str,
+        columns: ColumnsArg,
+        key: str,
+        *,
+        immortal: bool = False,
+        snapshot: bool = False,
+    ) -> Table:
+        """Create a table.  ``immortal=True`` ⇔ ``CREATE IMMORTAL TABLE``."""
+        if name in self.catalog.tables:
+            from repro.errors import TableExistsError
+
+            raise TableExistsError(f"table {name!r} already exists")
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        defs = [
+            ColumnDef(col, ColumnType(ct) if isinstance(ct, str) else ct)
+            for col, ct in columns
+        ]
+        if key not in {c.name for c in defs}:
+            raise SchemaError(f"key column {key!r} is not in the column list")
+        table_id = self.catalog.allocate_table_id()
+        btree = BTree(
+            self.buffer,
+            self.log,
+            self.clock,
+            table_id,
+            immortal=immortal,
+            key_split_threshold=self.key_split_threshold,
+        )
+        tsb_root = 0
+        if self.use_tsb_index and immortal:
+            history_index = TSBHistoryIndex(self.buffer, table_id)
+            tsb_root = history_index.root_pid
+        schema = TableSchema(
+            name=name,
+            table_id=table_id,
+            columns=defs,
+            key_column=key,
+            immortal=immortal,
+            snapshot_enabled=snapshot,
+            root_pid=btree.root_pid,
+            tsb_root_pid=tsb_root,
+        )
+        self.catalog.add_table(schema)
+        # Durability order: the initial page images must be in the durable
+        # log before the boot page references them.
+        self.log.force()
+        self._save_meta()
+        # The bootstrap B-tree object is discarded; _attach_table rebuilds
+        # it from the recorded root so every hook is wired in one place.
+        return self._attach_table(schema)
+
+    def enable_snapshot_isolation(self, name: str) -> None:
+        """``ALTER TABLE name ENABLE SNAPSHOT``: version a conventional table."""
+        schema = self.catalog.get(name)
+        if schema.immortal:
+            return  # immortal tables already keep every version
+        schema.snapshot_enabled = True
+        self._save_meta()
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog (its pages are left unreferenced)."""
+        self.catalog.remove_table(name)
+        table = self.tables.pop(name)
+        self._tables_by_id.pop(table.table_id, None)
+        self._save_meta()
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"table {name!r} does not exist") from None
+
+    def table_by_id(self, table_id: int) -> Table:
+        try:
+            return self._tables_by_id[table_id]
+        except KeyError:
+            raise TableNotFoundError(f"no table with id {table_id}") from None
+
+    # -- RecoverySupport ------------------------------------------------------------
+
+    def locate_current_page(self, table_id: int, key: bytes) -> DataPage | None:
+        table = self._tables_by_id.get(table_id)
+        if table is None:
+            return None
+        return table.btree.search_leaf(key)
+
+    # -- transactions ------------------------------------------------------------------
+
+    def begin(
+        self,
+        mode: TxnMode = TxnMode.SERIALIZABLE,
+        *,
+        as_of: Timestamp | _dt.datetime | str | None = None,
+    ) -> Transaction:
+        if as_of is not None:
+            mode = TxnMode.AS_OF
+            as_of = self.to_timestamp(as_of)
+        txn = self.txn_mgr.begin(mode, as_of=as_of)
+        if mode is TxnMode.SNAPSHOT:
+            assert txn.snapshot_ts is not None
+            self.snapshots.register(txn.tid, txn.snapshot_ts)
+        return txn
+
+    def commit(self, txn: Transaction) -> Timestamp | None:
+        ts = self.txn_mgr.commit(txn)
+        self.snapshots.unregister(txn.tid)
+        return ts
+
+    def abort(self, txn: Transaction) -> None:
+        self.txn_mgr.abort(txn)
+        self.snapshots.unregister(txn.tid)
+
+    @contextmanager
+    def transaction(
+        self,
+        mode: TxnMode = TxnMode.SERIALIZABLE,
+        *,
+        as_of: Timestamp | _dt.datetime | str | None = None,
+    ) -> Iterator[Transaction]:
+        """``with db.transaction() as txn: …`` — commit on success."""
+        txn = self.begin(mode, as_of=as_of)
+        try:
+            yield txn
+        except BaseException:
+            if txn.state.value == "active":
+                self.abort(txn)
+            raise
+        else:
+            if txn.state.value == "active":
+                self.commit(txn)
+
+    # -- time ----------------------------------------------------------------------------
+
+    def now(self) -> Timestamp:
+        return self.clock.now()
+
+    def advance_time(self, ms: float) -> None:
+        self.clock.advance_ms(ms)
+
+    @staticmethod
+    def to_timestamp(value: Timestamp | _dt.datetime | str) -> Timestamp:
+        """Accept a Timestamp, a datetime, or an ISO / SQL datetime string."""
+        if isinstance(value, Timestamp):
+            return value
+        if isinstance(value, str):
+            value = _dt.datetime.fromisoformat(value)
+        if isinstance(value, _dt.datetime):
+            return Timestamp.from_datetime(value, sn=0xFFFFFFFE)
+        raise CatalogError(f"cannot interpret {value!r} as a timestamp")
+
+    # -- checkpoints and garbage collection ----------------------------------------------------
+
+    def checkpoint(self, *, flush: bool = False) -> int:
+        """Take a checkpoint; run PTT garbage collection; persist the boot page.
+
+        Returns the number of PTT entries garbage collected.
+        """
+        self.checkpoints.take(self.txn_mgr.att_snapshot(), flush=flush)
+        collected = self.tsmgr.garbage_collect(self.checkpoints.redo_scan_start())
+        self._save_meta()
+        return collected
+
+    # -- crash and recovery ------------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state, exactly as a power failure would."""
+        self.buffer.discard_all()
+        self.log.crash()
+        self.tsmgr.rebuild_after_crash()
+        self.snapshots.clear()
+        self.locks = LockManager()
+        self.txn_mgr.locks = self.locks
+        self.txn_mgr.active.clear()
+
+    def recover(self) -> RecoveryReport:
+        """Restart after :meth:`crash`: analysis, redo, undo, re-open."""
+        self.catalog = self._load_catalog()
+        self.ptt = PersistentTimestampTable(
+            self.buffer, self.catalog.ptt_root_pid or None
+        )
+        self.tsmgr.ptt = self.ptt
+        self.tables.clear()
+        self._tables_by_id.clear()
+        self._open_tables()
+        report = run_recovery(self)
+        self.txn_mgr.adopt_tid_floor(self._max_tid_seen())
+        self.tsmgr.recovery_fallback = self.clock.now()
+        self.checkpoint(flush=True)
+        return report
+
+    def crash_and_recover(self) -> RecoveryReport:
+        self.crash()
+        return self.recover()
+
+    def _max_tid_seen(self) -> int:
+        best = self.ptt.max_tid()
+        for rec in self.log.records_from(0):
+            if rec.tid > best:
+                best = rec.tid
+        return best
+
+    # -- SQL convenience ----------------------------------------------------------------------------
+
+    def sql(self, statement: str):
+        """Execute one SQL statement on the engine's default session.
+
+        ``db.sql("SELECT * FROM t WHERE k = 1").rows`` — the session is
+        created lazily and persists, so ``BEGIN TRAN … COMMIT TRAN``
+        bracketing works across calls.  For multiple independent sessions
+        use :class:`repro.sql.Session` directly.
+        """
+        if not hasattr(self, "_default_session"):
+            from repro.sql.executor import Session
+
+            self._default_session = Session(self)
+        return self._default_session.execute(statement)
+
+    # -- lifecycle -------------------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Clean shutdown: flush everything, checkpoint, close the disk."""
+        self.checkpoint(flush=True)
+        if isinstance(self.log, FileLogManager):
+            self.log.close()
+        self.disk.close()
+
+    def __enter__(self) -> "ImmortalDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- instrumentation ----------------------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A flat snapshot of every counter the cost model consumes."""
+        disk = self.disk.stats
+        log = self.log.stats
+        buf = self.buffer.stats
+        ts = self.tsmgr.stats
+        return {
+            "disk_reads": disk.reads,
+            "disk_writes": disk.writes,
+            "disk_sequential_reads": disk.sequential_reads,
+            "disk_sequential_writes": disk.sequential_writes,
+            "log_appends": log.appends,
+            "log_bytes": log.bytes_appended,
+            "log_forces": log.forces,
+            "log_image_records": log.image_records,
+            "log_image_bytes": log.image_bytes,
+            "buffer_hits": buf.hits,
+            "buffer_misses": buf.misses,
+            "buffer_evictions": buf.evictions,
+            "page_flushes": buf.page_flushes,
+            "version_ops": self.version_ops,
+            "stamps": ts.stamps,
+            "vtt_hits": ts.vtt_hits,
+            "ptt_lookups": ts.ptt_lookups,
+            "ptt_inserts": ts.ptt_inserts,
+            "ptt_deletes": ts.ptt_deletes,
+            "commit_revisit_pages": ts.commit_revisit_pages,
+            "commits": self.txn_mgr.commits,
+            "aborts": self.txn_mgr.aborts,
+            "asof_queries": self.asof_stats.queries,
+            "asof_chain_hops": self.asof_stats.chain_hops,
+            "asof_pages_examined": self.asof_stats.pages_examined,
+            "tsb_lookups": self.asof_stats.tsb_lookups,
+        }

@@ -1,0 +1,146 @@
+"""Table introspection: page, chain, and storage statistics.
+
+Operators of a transaction-time database need answers the catalog alone
+cannot give: how much of the table is history, how long the version chains
+are getting, how deep the time-split page chains run (which bounds worst-
+case AS OF latency without a TSB-tree), and how well current pages are
+utilized (the quantity the split threshold T governs).
+
+``inspect_table`` walks every page of one table and returns a
+:class:`TableInspection`; ``format_report`` renders it for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Timestamp
+from repro.storage.constants import DATA_HEADER_SIZE
+from repro.core.table import Table
+
+
+@dataclass
+class TableInspection:
+    """Everything a storage operator would ask about one table."""
+
+    table_name: str = ""
+    immortal: bool = False
+    # Pages
+    current_pages: int = 0
+    history_pages: int = 0
+    max_page_chain_depth: int = 0       # longest time-split chain off a leaf
+    # Versions
+    live_records: int = 0
+    total_versions: int = 0
+    delete_stubs: int = 0
+    unstamped_versions: int = 0
+    redundant_copies: int = 0           # case-2 spanning duplicates
+    max_record_chain: int = 0           # within one page
+    # Utilization
+    current_utilization: float = 0.0    # all bytes / capacity, current pages
+    timeslice_utilization: float = 0.0  # head-version bytes / capacity
+    history_utilization: float = 0.0
+    # Time coverage
+    oldest_version: Timestamp | None = None
+    newest_version: Timestamp | None = None
+    index_height: int = 0
+    tsb_nodes: int = 0
+
+
+def inspect_table(table: Table) -> TableInspection:
+    """Walk the table's pages and gather statistics (read-only)."""
+    info = TableInspection(
+        table_name=table.name, immortal=table.immortal
+    )
+    current_used = current_capacity = current_heads = 0
+    history_used = history_capacity = 0
+    seen_timestamps: dict[bytes, set[Timestamp]] = {}
+
+    for leaf in table.btree.leaves():
+        info.current_pages += 1
+        info.live_records += sum(
+            1 for key in leaf.keys() if not leaf.head(key).is_delete_stub
+        )
+        current_used += leaf.used_bytes - DATA_HEADER_SIZE
+        current_capacity += leaf.page_size - DATA_HEADER_SIZE
+        current_heads += leaf.current_version_bytes()
+        depth = 0
+        pid = leaf.history_page_id
+        while pid:
+            depth += 1
+            page = table.engine.buffer.get_page(pid)
+            pid = page.history_page_id
+        info.max_page_chain_depth = max(info.max_page_chain_depth, depth)
+
+    for page in table.iter_all_pages():
+        if page.is_history:
+            info.history_pages += 1
+            history_used += page.used_bytes - DATA_HEADER_SIZE
+            history_capacity += page.page_size - DATA_HEADER_SIZE
+        for key in page.keys():
+            chain_len = 0
+            for version in page.chain(key):
+                chain_len += 1
+                info.total_versions += 1
+                if version.is_delete_stub:
+                    info.delete_stubs += 1
+                if not version.is_timestamped:
+                    info.unstamped_versions += 1
+                    continue
+                ts = version.timestamp
+                stamps = seen_timestamps.setdefault(key, set())
+                if ts in stamps:
+                    info.redundant_copies += 1
+                else:
+                    stamps.add(ts)
+                if info.oldest_version is None or ts < info.oldest_version:
+                    info.oldest_version = ts
+                if info.newest_version is None or ts > info.newest_version:
+                    info.newest_version = ts
+            info.max_record_chain = max(info.max_record_chain, chain_len)
+
+    if current_capacity:
+        info.current_utilization = current_used / current_capacity
+        info.timeslice_utilization = current_heads / current_capacity
+    if history_capacity:
+        info.history_utilization = history_used / history_capacity
+
+    # Index height: root to leaf.
+    from repro.access.btree import BTreeIndexPage
+
+    height = 1
+    node = table.engine.buffer.get_page(table.btree.root_pid)
+    while isinstance(node, BTreeIndexPage):
+        height += 1
+        node = table.engine.buffer.get_page(node.children[0])
+    info.index_height = height
+    if table.history_index is not None:
+        info.tsb_nodes = len(table.history_index.all_nodes())
+    return info
+
+
+def format_report(info: TableInspection) -> str:
+    """A human-readable storage report."""
+    kind = "immortal" if info.immortal else "conventional"
+    lines = [
+        f"table {info.table_name!r} ({kind})",
+        f"  pages:        {info.current_pages} current, "
+        f"{info.history_pages} history "
+        f"(longest chain: {info.max_page_chain_depth})",
+        f"  records:      {info.live_records} live; "
+        f"{info.total_versions} versions total "
+        f"({info.delete_stubs} stubs, {info.redundant_copies} spanning "
+        f"copies, {info.unstamped_versions} awaiting timestamps)",
+        f"  chains:       longest in-page record chain "
+        f"{info.max_record_chain}",
+        f"  utilization:  current {info.current_utilization:.0%} "
+        f"(timeslice {info.timeslice_utilization:.0%}), "
+        f"history {info.history_utilization:.0%}",
+        f"  index:        B-tree height {info.index_height}"
+        + (f", TSB nodes {info.tsb_nodes}" if info.tsb_nodes else ""),
+    ]
+    if info.oldest_version is not None:
+        lines.append(
+            f"  time range:   {info.oldest_version} .. {info.newest_version}"
+        )
+    return "\n".join(lines)

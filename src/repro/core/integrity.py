@@ -1,0 +1,250 @@
+"""Database integrity verification.
+
+``verify_integrity(db)`` walks every structure the engine owns and checks
+the invariants the design depends on:
+
+* **catalog** — every schema's roots exist and have the right page types;
+* **B-trees** — separators ordered, leaf keys inside their bounds, the
+  index traversal and the leaf sibling chain agree;
+* **pages** — codec roundtrip (what is in memory serializes and reparses
+  identically), sorted slot arrays, acyclic version chains, timestamps
+  strictly decreasing along each chain;
+* **history chains** — time ranges contiguous and descending: the current
+  page's start equals the newest history page's end, and so on back;
+* **history pages** — read-only property proxies: no TID-marked records,
+  non-empty time range;
+* **TSB index** — every leaf entry points at an existing history page whose
+  time range matches the entry's rectangle;
+* **PTT** — entries strictly ascending and unique across the leaf chain;
+* **timestamping** — every TID-marked record in any page resolves to a
+  live transaction or a PTT entry (no orphaned TIDs).
+
+Returns a list of human-readable problem strings (empty = healthy);
+``strict=True`` raises :exc:`IntegrityError` instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.clock import Timestamp
+from repro.errors import ImmortalDBError, UnknownTransactionError
+from repro.storage.page import DataPage, decode_page
+from repro.access.btree import BTreeIndexPage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import ImmortalDB
+    from repro.core.table import Table
+
+
+class IntegrityError(ImmortalDBError):
+    """verify_integrity(strict=True) found problems."""
+
+
+def verify_integrity(db: "ImmortalDB", *, strict: bool = False) -> list[str]:
+    problems: list[str] = []
+    for table in db.tables.values():
+        problems.extend(_check_btree(db, table))
+        problems.extend(_check_pages(db, table))
+        problems.extend(_check_history_chains(db, table))
+        problems.extend(_check_tsb(db, table))
+    problems.extend(_check_ptt(db))
+    if strict and problems:
+        raise IntegrityError(
+            f"{len(problems)} integrity problem(s):\n" + "\n".join(problems)
+        )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+
+
+def _check_btree(db: "ImmortalDB", table: "Table") -> list[str]:
+    problems: list[str] = []
+    name = table.name
+    leaves_by_index: list[int] = []
+
+    def walk(pid: int, low: bytes, high: bytes | None) -> None:
+        page = db.buffer.get_page(pid)
+        if isinstance(page, BTreeIndexPage):
+            if page.seps != sorted(page.seps):
+                problems.append(
+                    f"{name}: index node {pid} separators out of order"
+                )
+            if len(page.children) != len(page.seps) + 1:
+                problems.append(
+                    f"{name}: index node {pid} children/separator mismatch"
+                )
+            for i, child in enumerate(page.children):
+                child_low = page.seps[i - 1] if i > 0 else low
+                child_high = page.seps[i] if i < len(page.seps) else high
+                walk(child, child_low, child_high)
+            return
+        if not isinstance(page, DataPage) or page.is_history:
+            problems.append(f"{name}: page {pid} is not a current data page")
+            return
+        leaves_by_index.append(pid)
+        for key in page.keys():
+            if key < low or (high is not None and key >= high):
+                problems.append(
+                    f"{name}: leaf {pid} holds key {key!r} outside its "
+                    f"bounds [{low!r}, {high!r})"
+                )
+
+    walk(table.btree.root_pid, b"", None)
+
+    leaves_by_chain = [leaf.page_id for leaf in table.btree.leaves()]
+    if leaves_by_index != leaves_by_chain:
+        problems.append(
+            f"{name}: index traversal sees leaves {leaves_by_index} but the "
+            f"sibling chain sees {leaves_by_chain}"
+        )
+    return problems
+
+
+def _check_pages(db: "ImmortalDB", table: "Table") -> list[str]:
+    problems: list[str] = []
+    name = table.name
+    for page in table.iter_all_pages():
+        pid = page.page_id
+        # Codec roundtrip.
+        try:
+            reparsed = decode_page(page.to_bytes())
+        except ImmortalDBError as exc:
+            problems.append(f"{name}: page {pid} fails to serialize: {exc}")
+            continue
+        if not isinstance(reparsed, DataPage) or \
+                reparsed.keys() != page.keys() or \
+                reparsed.used_bytes != page.used_bytes:
+            problems.append(f"{name}: page {pid} codec roundtrip mismatch")
+        # Slot order.
+        if page.keys() != sorted(page.keys()):
+            problems.append(f"{name}: page {pid} slot array out of order")
+        # Chains: valid indices, acyclic, timestamps strictly decreasing.
+        for key in page.keys():
+            visited: set[int] = set()
+            index = page.slots[page.slot_of(key)]
+            last_ts: Timestamp | None = None
+            while True:
+                if index in visited:
+                    problems.append(
+                        f"{name}: page {pid} key {key!r} chain has a cycle"
+                    )
+                    break
+                if not 0 <= index < len(page.versions):
+                    problems.append(
+                        f"{name}: page {pid} key {key!r} chain index "
+                        f"{index} out of range"
+                    )
+                    break
+                visited.add(index)
+                version = page.versions[index]
+                if version.key != key:
+                    problems.append(
+                        f"{name}: page {pid} chain of {key!r} reached a "
+                        f"version of {version.key!r}"
+                    )
+                    break
+                if version.is_timestamped:
+                    ts = version.timestamp
+                    if last_ts is not None and ts >= last_ts:
+                        problems.append(
+                            f"{name}: page {pid} key {key!r} timestamps not "
+                            f"strictly decreasing ({ts} under {last_ts})"
+                        )
+                    last_ts = ts
+                if not version.has_previous or version.vp_in_history:
+                    break
+                index = version.vp
+        # History-page-only properties.
+        if page.is_history:
+            if page.split_ts >= page.end_ts:
+                problems.append(
+                    f"{name}: history page {pid} has empty time range"
+                )
+            if page.has_unstamped_records():
+                problems.append(
+                    f"{name}: history page {pid} holds TID-marked records"
+                )
+        # Every TID-marked record must resolve somewhere.
+        for version in page.unstamped_versions():
+            try:
+                db.tsmgr.resolve(version.tid)
+            except UnknownTransactionError:
+                if not page.immortal and db.tsmgr.recovery_fallback:
+                    continue
+                problems.append(
+                    f"{name}: page {pid} holds an orphaned TID "
+                    f"{version.tid}"
+                )
+    return problems
+
+
+def _check_history_chains(db: "ImmortalDB", table: "Table") -> list[str]:
+    problems: list[str] = []
+    name = table.name
+    for leaf in table.btree.leaves():
+        expected_end = leaf.split_ts
+        pid = leaf.history_page_id
+        while pid:
+            page = db.buffer.get_page(pid)
+            if not isinstance(page, DataPage) or not page.is_history:
+                problems.append(
+                    f"{name}: leaf {leaf.page_id} history chain hit "
+                    f"non-history page {pid}"
+                )
+                break
+            if page.end_ts != expected_end:
+                problems.append(
+                    f"{name}: history page {pid} ends at {page.end_ts} but "
+                    f"its successor starts at {expected_end}"
+                )
+            expected_end = page.split_ts
+            pid = page.history_page_id
+    return problems
+
+
+def _check_tsb(db: "ImmortalDB", table: "Table") -> list[str]:
+    if table.history_index is None:
+        return []
+    problems: list[str] = []
+    name = table.name
+    for node in table.history_index.all_nodes():
+        for entry in node.entries:
+            if not entry.child_is_leaf:
+                continue
+            try:
+                page = db.buffer.get_page(entry.child_pid)
+            except ImmortalDBError:
+                problems.append(
+                    f"{name}: TSB entry points at missing page "
+                    f"{entry.child_pid}"
+                )
+                continue
+            if not isinstance(page, DataPage) or not page.is_history:
+                problems.append(
+                    f"{name}: TSB entry {entry.child_pid} is not a history "
+                    f"page"
+                )
+                continue
+            if (entry.rect.t_low, entry.rect.t_high) != \
+                    (page.split_ts, page.end_ts):
+                problems.append(
+                    f"{name}: TSB rect time range "
+                    f"[{entry.rect.t_low}, {entry.rect.t_high}) disagrees "
+                    f"with page {page.page_id}'s "
+                    f"[{page.split_ts}, {page.end_ts})"
+                )
+    return problems
+
+
+def _check_ptt(db: "ImmortalDB") -> list[str]:
+    problems: list[str] = []
+    last_tid = 0
+    for tid, _ts in db.ptt.entries():
+        if tid <= last_tid:
+            problems.append(
+                f"PTT: entries not strictly ascending at TID {tid}"
+            )
+        last_tid = tid
+    return problems

@@ -1,0 +1,177 @@
+"""Row and key codecs.
+
+Keys are encoded **order-preserving**: comparing the encoded bytes gives the
+same order as comparing the values, which is what lets the B-tree and the
+TSB-tree treat keys as opaque byte strings.  Integers use offset-binary
+(biased) big-endian; text compares bytewise as UTF-8.
+
+Payloads (the non-key columns) are encoded compactly with a per-column null
+byte; variable-length text is length-prefixed.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    SMALLINT = "smallint"   # 2-byte signed
+    INT = "int"             # 4-byte signed
+    BIGINT = "bigint"       # 8-byte signed
+    FLOAT = "float"         # 8-byte IEEE double
+    TEXT = "text"           # UTF-8, variable length
+    BOOL = "bool"
+
+
+_INT_SPECS = {
+    ColumnType.SMALLINT: (2, 1 << 15),
+    ColumnType.INT: (4, 1 << 31),
+    ColumnType.BIGINT: (8, 1 << 63),
+}
+
+
+def encode_key(value, column_type: ColumnType) -> bytes:
+    """Order-preserving key encoding."""
+    if column_type in _INT_SPECS:
+        width, bias = _INT_SPECS[column_type]
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SchemaError(f"key value {value!r} is not an integer")
+        if not -bias <= value < bias:
+            raise SchemaError(
+                f"key value {value} out of range for {column_type.value}"
+            )
+        return (value + bias).to_bytes(width, "big")
+    if column_type is ColumnType.TEXT:
+        if not isinstance(value, str):
+            raise SchemaError(f"key value {value!r} is not a string")
+        encoded = value.encode("utf-8")
+        if b"\x00" in encoded:
+            raise SchemaError("text keys may not contain NUL bytes")
+        return encoded
+    raise SchemaError(f"{column_type.value} cannot be a primary key type")
+
+
+def decode_key(data: bytes, column_type: ColumnType):
+    if column_type in _INT_SPECS:
+        width, bias = _INT_SPECS[column_type]
+        if len(data) != width:
+            raise SchemaError(
+                f"key image of {len(data)} bytes, expected {width}"
+            )
+        return int.from_bytes(data, "big") - bias
+    if column_type is ColumnType.TEXT:
+        return data.decode("utf-8")
+    raise SchemaError(f"{column_type.value} cannot be a primary key type")
+
+
+def _encode_value(value, column_type: ColumnType) -> bytes:
+    if value is None:
+        return b"\x00"
+    if column_type in _INT_SPECS:
+        width, bias = _INT_SPECS[column_type]
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SchemaError(f"{value!r} is not an integer")
+        if not -bias <= value < bias:
+            raise SchemaError(f"{value} out of range for {column_type.value}")
+        return b"\x01" + (value + bias).to_bytes(width, "big")
+    if column_type is ColumnType.FLOAT:
+        return b"\x01" + struct.pack(">d", float(value))
+    if column_type is ColumnType.BOOL:
+        return b"\x01" + (b"\x01" if value else b"\x00")
+    if column_type is ColumnType.TEXT:
+        if not isinstance(value, str):
+            raise SchemaError(f"{value!r} is not a string")
+        encoded = value.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise SchemaError("text value exceeds 64 KiB")
+        return b"\x01" + len(encoded).to_bytes(2, "big") + encoded
+    raise SchemaError(f"unknown column type {column_type!r}")
+
+
+def _decode_value(data: bytes, pos: int, column_type: ColumnType):
+    if data[pos] == 0:
+        return None, pos + 1
+    pos += 1
+    if column_type in _INT_SPECS:
+        width, bias = _INT_SPECS[column_type]
+        return int.from_bytes(data[pos : pos + width], "big") - bias, pos + width
+    if column_type is ColumnType.FLOAT:
+        return struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if column_type is ColumnType.BOOL:
+        return bool(data[pos]), pos + 1
+    if column_type is ColumnType.TEXT:
+        length = int.from_bytes(data[pos : pos + 2], "big")
+        raw = data[pos + 2 : pos + 2 + length]
+        return raw.decode("utf-8"), pos + 2 + length
+    raise SchemaError(f"unknown column type {column_type!r}")
+
+
+class RowCodec:
+    """Encodes rows (dicts) for one table schema.
+
+    The primary-key column is carried in the record's key image; the payload
+    holds all remaining columns in schema order.
+    """
+
+    def __init__(
+        self,
+        columns: list[tuple[str, ColumnType]],
+        key_column: str,
+    ) -> None:
+        names = [name for name, _ in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        if key_column not in names:
+            raise SchemaError(f"key column {key_column!r} not in schema")
+        self.columns = columns
+        self.key_column = key_column
+        self.key_type = dict(columns)[key_column]
+        self.payload_columns = [
+            (name, ctype) for name, ctype in columns if name != key_column
+        ]
+
+    # -- keys ---------------------------------------------------------------
+
+    def encode_key(self, value) -> bytes:
+        return encode_key(value, self.key_type)
+
+    def decode_key(self, data: bytes):
+        return decode_key(data, self.key_type)
+
+    # -- payloads ----------------------------------------------------------------
+
+    def encode_payload(self, row: dict) -> bytes:
+        unknown = set(row) - {name for name, _ in self.columns}
+        if unknown:
+            raise SchemaError(f"unknown column(s): {sorted(unknown)}")
+        return b"".join(
+            _encode_value(row.get(name), ctype)
+            for name, ctype in self.payload_columns
+        )
+
+    def decode_payload(self, data: bytes) -> dict:
+        row: dict = {}
+        pos = 0
+        for name, ctype in self.payload_columns:
+            row[name], pos = _decode_value(data, pos, ctype)
+        if pos != len(data):
+            raise SchemaError(
+                f"payload has {len(data) - pos} trailing byte(s)"
+            )
+        return row
+
+    # -- whole rows ------------------------------------------------------------------
+
+    def encode_row(self, row: dict) -> tuple[bytes, bytes]:
+        """(key image, payload image) for a full row."""
+        if self.key_column not in row or row[self.key_column] is None:
+            raise SchemaError(f"row is missing key column {self.key_column!r}")
+        return self.encode_key(row[self.key_column]), self.encode_payload(row)
+
+    def decode_row(self, key_image: bytes, payload: bytes) -> dict:
+        row = self.decode_payload(payload)
+        row[self.key_column] = self.decode_key(key_image)
+        return row

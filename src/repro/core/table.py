@@ -1,0 +1,545 @@
+"""The table layer: versioned inserts/updates/deletes and temporal reads.
+
+Every mutation follows the paper's protocol:
+
+* a new record version is written carrying the transaction's **TID** in its
+  Ttime field (lazy timestamping stage II),
+* updating a record first timestamps every committed version in its chain
+  (the "update a non-timestamped version" trigger of Section 2.2),
+* a delete writes a **delete stub** — "a special new version … that
+  indicates when the record was deleted" — rather than removing anything,
+* conventional (non-immortal, non-snapshot) tables update **in place**, so
+  the Fig-5 baseline pays exactly a conventional table's costs.
+
+Reads dispatch on the transaction mode: current reads take record locks
+(serializable), snapshot reads use the lock-free visibility rules, and
+AS OF reads route through the time-split page chain (or the TSB-tree) to
+the single page that must contain the version of interest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.clock import Timestamp
+from repro.concurrency.snapshot import visible_version
+from repro.concurrency.transaction import Transaction, TxnMode
+from repro.core.asof import page_for_time
+from repro.core.catalog import TableSchema
+from repro.core.rowcodec import RowCodec
+from repro.errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    PageFullError,
+    SQLExecutionError,
+    TimestampOrderError,
+    WriteConflictError,
+)
+from repro.storage.page import DataPage
+from repro.storage.record import RecordVersion
+from repro.wal.records import InPlaceUpdate, VersionOp, VersionOpKind
+from repro.access.btree import BTree
+from repro.access.tsbtree import TSBHistoryIndex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import ImmortalDB
+
+
+class Table:
+    """One table: schema + primary B-tree (+ optional TSB history index)."""
+
+    def __init__(
+        self,
+        engine: "ImmortalDB",
+        schema: TableSchema,
+        btree: BTree,
+        history_index: TSBHistoryIndex | None = None,
+    ) -> None:
+        self.engine = engine
+        self.schema = schema
+        self.btree = btree
+        self.history_index = history_index
+        self.codec = RowCodec(
+            [(c.name, c.column_type) for c in schema.columns],
+            schema.key_column,
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def table_id(self) -> int:
+        return self.schema.table_id
+
+    @property
+    def immortal(self) -> bool:
+        return self.schema.immortal
+
+    @property
+    def versioned(self) -> bool:
+        """True when updates create versions instead of overwriting."""
+        return self.schema.immortal or self.schema.snapshot_enabled
+
+    # -- internal helpers ---------------------------------------------------------
+
+    def _resolve(self, tid: int) -> tuple[Timestamp | None, bool]:
+        return self.engine.tsmgr.resolve_with_fallback(
+            tid, immortal=self.immortal
+        )
+
+    def _stamp_chain(self, leaf: DataPage, key: bytes) -> int:
+        """Lazy-timestamping trigger: stamp committed versions of one record."""
+        stamped = 0
+        for version in leaf.chain(key):
+            if not version.is_timestamped:
+                if self.engine.tsmgr.stamp_version(version):
+                    stamped += 1
+        if stamped:
+            self.engine.buffer.mark_dirty(leaf.page_id)
+        return stamped
+
+    def _horizon(self, txn: Transaction) -> tuple[Timestamp | None, bool]:
+        """(visibility horizon, inclusive?) for a transaction's reads.
+
+        Both snapshot and AS OF horizons are inclusive: the clock guarantees
+        every timestamp issued after a ``now()`` read is strictly greater,
+        so "ts <= horizon" means "committed before this moment".
+        """
+        if txn.mode is TxnMode.AS_OF:
+            # "Immortal tables enable AS OF historical queries" (§4.1) —
+            # conventional tables garbage collect versions, so an old AS OF
+            # answer would be silently wrong rather than historical.
+            self._require_immortal_for_asof()
+            assert txn.snapshot_ts is not None
+            return txn.snapshot_ts, True
+        if txn.mode is TxnMode.SNAPSHOT:
+            assert txn.snapshot_ts is not None
+            return txn.snapshot_ts, True
+        return None, False
+
+    def _require_immortal_for_asof(self) -> None:
+        if not self.immortal:
+            raise SQLExecutionError(
+                f"table {self.name!r} is not IMMORTAL: it keeps only the "
+                f"recent versions snapshot isolation needs, so AS OF "
+                f"queries are not supported (paper Section 4.1)"
+            )
+
+    def _validate_pinned(self, txn: Transaction, ts: Timestamp | None) -> None:
+        """CURRENT TIME validation: pinned transactions cannot touch data
+        committed after their pinned timestamp (see §7.2 extension)."""
+        if txn.pinned_ts is not None and ts is not None and ts > txn.pinned_ts:
+            raise TimestampOrderError(
+                f"transaction {txn.tid} answered CURRENT TIME as "
+                f"{txn.pinned_ts} but touched data committed at {ts}; "
+                f"it must abort and retry"
+            )
+
+    def _check_write_conflict(
+        self, txn: Transaction, leaf: DataPage, key: bytes
+    ) -> None:
+        """First-committer-wins for snapshot writers (Section 1.1 [3]),
+        plus CURRENT TIME validation for pinned transactions."""
+        if txn.pinned_ts is not None:
+            head = leaf.head(key)
+            if head is not None and head.is_timestamped:
+                self._validate_pinned(txn, head.timestamp)
+        if txn.mode is not TxnMode.SNAPSHOT:
+            return
+        head = leaf.head(key)
+        if head is None:
+            return
+        if not head.is_timestamped:
+            ts, committed = self._resolve(head.tid)
+            if not committed:
+                if head.tid != txn.tid:
+                    raise WriteConflictError(
+                        f"key {key!r}: concurrent uncommitted writer "
+                        f"(TID {head.tid})"
+                    )
+                return
+        else:
+            ts = head.timestamp
+        assert txn.snapshot_ts is not None and ts is not None
+        if ts > txn.snapshot_ts:
+            raise WriteConflictError(
+                f"key {key!r} was modified at {ts} after this snapshot "
+                f"transaction began at {txn.snapshot_ts}"
+            )
+
+    def _log_and_apply_version(
+        self,
+        txn: Transaction,
+        kind: VersionOpKind,
+        key: bytes,
+        payload: bytes,
+    ) -> None:
+        """The shared tail of insert/update/delete: log, stamp-II, apply."""
+        record = RecordVersion.new(
+            key, payload, txn.tid, delete_stub=kind == VersionOpKind.DELETE
+        )
+        leaf = self.btree.leaf_for_insert(record)
+        lsn = self.engine.txn_mgr.log_update(
+            txn,
+            VersionOp(
+                kind=kind,
+                table_id=self.table_id,
+                page_id=leaf.page_id,
+                key=key,
+                payload=payload,
+            ),
+        )
+        self.engine.tsmgr.on_version_created(
+            txn.tid, self.table_id, leaf.page_id, key
+        )
+        self.btree.apply_insert(leaf, record, lsn)
+        self.engine.version_ops += 1
+        txn.writes.add((self.table_id, key))
+        txn.version_count += 1
+        if self.immortal:
+            txn.touched_immortal = True
+
+    # -- mutations -------------------------------------------------------------------
+
+    def insert(self, txn: Transaction, row: dict) -> None:
+        """Insert a new record (fails if a live record already has the key)."""
+        txn.require_writable()
+        key, payload = self.codec.encode_row(row)
+        self.engine.locks.lock_record_exclusive(txn.tid, self.table_id, key)
+        leaf = self.btree.search_leaf(key)
+        self._stamp_chain(leaf, key)
+        self._check_write_conflict(txn, leaf, key)
+        head = leaf.head(key)
+        if head is not None:
+            visible = visible_version(
+                leaf.chain(key), horizon=None, inclusive=False,
+                resolve=self._resolve, own_tid=txn.tid,
+            )
+            if visible is not None and not visible.is_delete_stub:
+                raise DuplicateKeyError(
+                    f"table {self.name}: key "
+                    f"{row[self.codec.key_column]!r} already exists"
+                )
+        self._log_and_apply_version(txn, VersionOpKind.INSERT, key, payload)
+
+    def update(self, txn: Transaction, key_value, updates: dict) -> None:
+        """Update a record: a new version (versioned) or in place (plain)."""
+        txn.require_writable()
+        if self.codec.key_column in updates and \
+                updates[self.codec.key_column] != key_value:
+            raise SQLExecutionError("primary key columns cannot be updated")
+        key = self.codec.encode_key(key_value)
+        self.engine.locks.lock_record_exclusive(txn.tid, self.table_id, key)
+        leaf = self.btree.search_leaf(key)
+        # "When we update a non-timestamped version of a record with a later
+        # version, all existing versions must be committed, and we timestamp
+        # them all" (§2.2) — except our own uncommitted versions.
+        self._stamp_chain(leaf, key)
+        self._check_write_conflict(txn, leaf, key)
+        current = visible_version(
+            leaf.chain(key), horizon=None, inclusive=False,
+            resolve=self._resolve, own_tid=txn.tid,
+        )
+        if current is None or current.is_delete_stub:
+            raise KeyNotFoundError(
+                f"table {self.name}: no record with key {key_value!r}"
+            )
+        row = self.codec.decode_payload(current.payload)
+        row.update(
+            {k: v for k, v in updates.items() if k != self.codec.key_column}
+        )
+        payload = self.codec.encode_payload(row)
+        if self.versioned:
+            self._log_and_apply_version(txn, VersionOpKind.UPDATE, key, payload)
+        else:
+            self._update_in_place(txn, key, current.payload, payload)
+
+    def _update_in_place(
+        self, txn: Transaction, key: bytes, before: bytes, after: bytes
+    ) -> None:
+        """Conventional-table update: overwrite the payload, log both images."""
+        for _ in range(2):
+            leaf = self.btree.search_leaf(key)
+            try:
+                lsn = self.engine.txn_mgr.log_update(
+                    txn,
+                    InPlaceUpdate(
+                        table_id=self.table_id, page_id=leaf.page_id,
+                        key=key, before=before, after=after,
+                    ),
+                )
+                leaf.replace_payload_in_place(key, after)
+                leaf.lsn = lsn
+                self.engine.buffer.mark_dirty(leaf.page_id, lsn)
+                self.engine.version_ops += 1  # an in-place write is the same
+                # page work as a version write; the cost model prices both.
+                txn.writes.add((self.table_id, key))
+                return
+            except PageFullError:
+                # Make room as if inserting a record of the new size, then
+                # retry once; the logged-but-unapplied record is harmless
+                # (redo is page-LSN-guarded and undo restores `before`).
+                probe = RecordVersion.new(key, after, txn.tid)
+                self.btree.leaf_for_insert(probe)
+        raise PageFullError(
+            f"table {self.name}: in-place update of {key!r} does not fit"
+        )
+
+    def delete(self, txn: Transaction, key_value) -> None:
+        """Delete a record by writing a delete stub version."""
+        txn.require_writable()
+        key = self.codec.encode_key(key_value)
+        self.engine.locks.lock_record_exclusive(txn.tid, self.table_id, key)
+        leaf = self.btree.search_leaf(key)
+        self._stamp_chain(leaf, key)
+        self._check_write_conflict(txn, leaf, key)
+        current = visible_version(
+            leaf.chain(key), horizon=None, inclusive=False,
+            resolve=self._resolve, own_tid=txn.tid,
+        )
+        if current is None or current.is_delete_stub:
+            raise KeyNotFoundError(
+                f"table {self.name}: no record with key {key_value!r}"
+            )
+        self._log_and_apply_version(txn, VersionOpKind.DELETE, key, b"")
+
+    # -- point reads -----------------------------------------------------------------------
+
+    def read(self, txn: Transaction, key_value) -> dict | None:
+        """Read one record under the transaction's isolation rules."""
+        txn.require_active()
+        key = self.codec.encode_key(key_value)
+        if txn.mode is TxnMode.SERIALIZABLE:
+            self.engine.locks.lock_record_shared(txn.tid, self.table_id, key)
+        horizon, inclusive = self._horizon(txn)
+        leaf = self.btree.search_leaf(key)
+        if horizon is None or horizon >= leaf.split_ts:
+            page: DataPage | None = leaf
+            if horizon is None:
+                # Reading triggers lazy timestamping (stage IV).
+                self._stamp_chain(leaf, key)
+        else:
+            page = self._route(leaf, key, horizon)
+        if page is None:
+            return None
+        version = visible_version(
+            page.chain(key), horizon=horizon, inclusive=inclusive,
+            resolve=self._resolve, own_tid=txn.tid,
+        )
+        if version is None or version.is_delete_stub:
+            return None
+        if version.is_timestamped:
+            self._validate_pinned(txn, version.timestamp)
+        return self.codec.decode_row(key, version.payload)
+
+    def read_as_of(self, ts: Timestamp, key_value) -> dict | None:
+        """Convenience: autocommitted AS OF point read."""
+        txn = self.engine.begin(TxnMode.AS_OF, as_of=ts)
+        try:
+            return self.read(txn, key_value)
+        finally:
+            self.engine.commit(txn)
+
+    def _route(
+        self, leaf: DataPage, key: bytes, ts: Timestamp
+    ) -> DataPage | None:
+        """Find the page containing ``key``'s version at ``ts``."""
+        stats = self.engine.asof_stats
+        stats.queries += 1
+        if self.history_index is not None:
+            stats.tsb_lookups += 1
+            pid = self.history_index.search(key, ts)
+            if pid is None:
+                return None
+            page = self.engine.buffer.get_page(pid)
+            if not isinstance(page, DataPage):
+                return None
+            stats.pages_examined += 1
+            return page
+        return page_for_time(self.engine.buffer, leaf, ts, stats)
+
+    # -- scans ------------------------------------------------------------------------------------
+
+    def scan(self, txn: Transaction) -> list[dict]:
+        """All live records visible to the transaction, in key order."""
+        txn.require_active()
+        if txn.mode is TxnMode.SERIALIZABLE:
+            self.engine.locks.lock_table_shared(txn.tid, self.table_id)
+        horizon, inclusive = self._horizon(txn)
+        if horizon is not None:
+            return self._scan_at(horizon, inclusive, own_tid=txn.tid)
+        rows: list[dict] = []
+        for leaf in self.btree.leaves():
+            for key in leaf.keys():
+                version = visible_version(
+                    leaf.chain(key), horizon=None, inclusive=False,
+                    resolve=self._resolve, own_tid=txn.tid,
+                )
+                if version is not None and not version.is_delete_stub:
+                    rows.append(self.codec.decode_row(key, version.payload))
+        return rows
+
+    def scan_as_of(self, ts: Timestamp) -> list[dict]:
+        """Full table scan AS OF ``ts`` (the Fig-6 query)."""
+        self._require_immortal_for_asof()
+        return self._scan_at(ts, inclusive=True, own_tid=None)
+
+    def _scan_at(
+        self, ts: Timestamp, inclusive: bool, own_tid: int | None
+    ) -> list[dict]:
+        stats = self.engine.asof_stats
+        rows: list[dict] = []
+        for leaf, key_low, key_high in self.btree.leaves_with_bounds():
+            stats.queries += 1
+            page = page_for_time(self.engine.buffer, leaf, ts, stats)
+            if page is None:
+                continue
+            for key in page.keys():
+                # Sibling leaves can share history pages after a key split;
+                # each leaf only accounts for keys inside its own bounds.
+                if key < key_low or (key_high is not None and key >= key_high):
+                    continue
+                version = visible_version(
+                    page.chain(key), horizon=ts, inclusive=inclusive,
+                    resolve=self._resolve, own_tid=own_tid,
+                )
+                if version is not None and not version.is_delete_stub:
+                    rows.append(self.codec.decode_row(key, version.payload))
+        return rows
+
+    # -- time travel --------------------------------------------------------------------------------
+
+    def history(
+        self,
+        key_value,
+        t_low: Timestamp | None = None,
+        t_high: Timestamp | None = None,
+    ) -> list[tuple[Timestamp, dict | None]]:
+        """The full version history of one record, oldest first.
+
+        Each element is ``(start_time, row)``; a deleted interval appears as
+        ``(stub_time, None)``.  Bounds restrict to versions whose start time
+        falls in ``[t_low, t_high]``.
+        """
+        self._require_immortal_for_asof()
+        key = self.codec.encode_key(key_value)
+        leaf = self.btree.search_leaf(key)
+        out: dict[Timestamp, dict | None] = {}
+        page: DataPage | None = leaf
+        while page is not None:
+            for version in page.chain(key):
+                if not version.is_timestamped:
+                    ts, committed = self._resolve(version.tid)
+                    if not committed:
+                        continue
+                else:
+                    ts = version.timestamp
+                assert ts is not None
+                if t_low is not None and ts < t_low:
+                    continue
+                if t_high is not None and ts > t_high:
+                    continue
+                if ts not in out:  # spanning copies appear in two pages
+                    out[ts] = (
+                        None
+                        if version.is_delete_stub
+                        else self.codec.decode_row(key, version.payload)
+                    )
+            next_pid = page.history_page_id
+            page = (
+                self.engine.buffer.get_page(next_pid)  # type: ignore[assignment]
+                if next_pid
+                else None
+            )
+        return sorted(out.items())
+
+    def scan_range(
+        self,
+        txn: Transaction,
+        low=None,
+        high=None,
+    ) -> list[dict]:
+        """Records with ``low <= key <= high``, under the txn's isolation.
+
+        Bounds are key-column values; None leaves an end open.  Uses the
+        B-tree to start at the right leaf instead of scanning from the
+        first one.
+        """
+        txn.require_active()
+        low_img = self.codec.encode_key(low) if low is not None else None
+        high_img = self.codec.encode_key(high) if high is not None else None
+        if txn.mode is TxnMode.SERIALIZABLE:
+            self.engine.locks.lock_table_shared(txn.tid, self.table_id)
+        horizon, inclusive = self._horizon(txn)
+        rows: list[dict] = []
+        started = False
+        for leaf, key_low, key_high in self.btree.leaves_with_bounds():
+            if not started:
+                if low_img is not None and key_high is not None \
+                        and key_high <= low_img:
+                    continue  # leaf entirely below the range
+                started = True
+            if horizon is not None:
+                page = page_for_time(
+                    self.engine.buffer, leaf, horizon, self.engine.asof_stats
+                )
+                if page is None:
+                    continue
+            else:
+                page = leaf
+            for key in page.keys():
+                if key < key_low or (key_high is not None and key >= key_high):
+                    continue
+                if low_img is not None and key < low_img:
+                    continue
+                if high_img is not None and key > high_img:
+                    return rows
+                version = visible_version(
+                    page.chain(key), horizon=horizon, inclusive=inclusive,
+                    resolve=self._resolve, own_tid=txn.tid,
+                )
+                if version is not None and not version.is_delete_stub:
+                    rows.append(self.codec.decode_row(key, version.payload))
+        return rows
+
+    def changes_between(
+        self, t_old: Timestamp, t_new: Timestamp
+    ) -> dict[object, tuple[dict | None, dict | None]]:
+        """Diff of two database states: {key: (row at t_old, row at t_new)}.
+
+        Only keys whose visible row differs appear; a None side means the
+        record did not exist at that time.  This is the audit primitive —
+        "what did that batch job actually change?" — built on two AS OF
+        scans.
+        """
+        if t_new < t_old:
+            raise SQLExecutionError("changes_between needs t_old <= t_new")
+        old_rows = {
+            row[self.codec.key_column]: row for row in self.scan_as_of(t_old)
+        }
+        new_rows = {
+            row[self.codec.key_column]: row for row in self.scan_as_of(t_new)
+        }
+        diff: dict[object, tuple[dict | None, dict | None]] = {}
+        for key in old_rows.keys() | new_rows.keys():
+            before = old_rows.get(key)
+            after = new_rows.get(key)
+            if before != after:
+                diff[key] = (before, after)
+        return diff
+
+    # -- maintenance hooks (wired into the B-tree by the engine) -------------------------------------
+
+    def iter_all_pages(self) -> Iterator[DataPage]:
+        """Every data page of the table: current leaves then their history."""
+        for leaf in self.btree.leaves():
+            yield leaf
+            pid = leaf.history_page_id
+            while pid:
+                page = self.engine.buffer.get_page(pid)
+                assert isinstance(page, DataPage)
+                yield page
+                pid = page.history_page_id

@@ -1,0 +1,170 @@
+"""Exception hierarchy for the Immortal DB reproduction.
+
+Every error raised by the library derives from :class:`ImmortalDBError`, so
+callers can catch one base class.  The hierarchy mirrors the subsystem layout:
+storage, write-ahead log, timestamping, concurrency, access methods, catalog,
+and the SQL front end each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ImmortalDBError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+class StorageError(ImmortalDBError):
+    """Base class for storage-engine errors (pages, disk, buffer pool)."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit in the target page.
+
+    This is the signal that drives page splitting: callers catch it and
+    invoke a time split and/or key split, then retry the insertion.
+    """
+
+
+class PageFormatError(StorageError):
+    """A page image failed to deserialize (corruption or version skew)."""
+
+
+class PageNotFoundError(StorageError):
+    """The requested page id does not exist on the disk."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool protocol violation (e.g. evicting a pinned page)."""
+
+
+class LatchError(StorageError):
+    """Incompatible latch request on a page frame."""
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead log / recovery
+# ---------------------------------------------------------------------------
+
+class WALError(ImmortalDBError):
+    """Base class for write-ahead-log errors."""
+
+
+class LogFormatError(WALError):
+    """A log record image failed to deserialize."""
+
+
+class RecoveryError(WALError):
+    """Crash recovery could not bring the database to a consistent state."""
+
+
+# ---------------------------------------------------------------------------
+# Timestamping
+# ---------------------------------------------------------------------------
+
+class TimestampError(ImmortalDBError):
+    """Base class for timestamp-management errors."""
+
+
+class UnknownTransactionError(TimestampError):
+    """A TID was looked up that is in neither the VTT nor the PTT."""
+
+
+class NotYetCommittedError(TimestampError):
+    """Attempt to stamp a record whose transaction has not committed."""
+
+
+# ---------------------------------------------------------------------------
+# Concurrency control
+# ---------------------------------------------------------------------------
+
+class ConcurrencyError(ImmortalDBError):
+    """Base class for transaction / locking errors."""
+
+
+class LockConflictError(ConcurrencyError):
+    """A lock request conflicts with a lock held by another transaction."""
+
+    def __init__(self, message: str, holder_tid: int | None = None) -> None:
+        super().__init__(message)
+        self.holder_tid = holder_tid
+
+
+class DeadlockError(ConcurrencyError):
+    """A lock wait would create a cycle in the waits-for graph."""
+
+
+class TransactionStateError(ConcurrencyError):
+    """Operation is illegal in the transaction's current state."""
+
+
+class WriteConflictError(ConcurrencyError):
+    """First-committer-wins violation under snapshot isolation."""
+
+
+class ReadOnlyTransactionError(ConcurrencyError):
+    """An AS OF (historical) transaction attempted a write."""
+
+
+class TimestampOrderError(ConcurrencyError):
+    """A CURRENT TIME transaction touched data committed after its pinned
+    timestamp; it must abort (the cost of early timestamp choice, §2.1/§7.2)."""
+
+
+# ---------------------------------------------------------------------------
+# Access methods
+# ---------------------------------------------------------------------------
+
+class AccessMethodError(ImmortalDBError):
+    """Base class for index-structure errors (B-tree, TSB-tree, splits)."""
+
+
+class KeyNotFoundError(AccessMethodError):
+    """Exact-match lookup found no record for the key."""
+
+
+class DuplicateKeyError(AccessMethodError):
+    """Insert of a key that already has a live (non-deleted) record."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog / engine
+# ---------------------------------------------------------------------------
+
+class CatalogError(ImmortalDBError):
+    """Base class for catalog errors."""
+
+
+class TableNotFoundError(CatalogError):
+    """The named table does not exist."""
+
+
+class TableExistsError(CatalogError):
+    """CREATE TABLE for a name that already exists."""
+
+
+class SchemaError(CatalogError):
+    """Row does not match the table schema."""
+
+
+# ---------------------------------------------------------------------------
+# SQL front end
+# ---------------------------------------------------------------------------
+
+class SQLError(ImmortalDBError):
+    """Base class for SQL front-end errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """The statement failed to lex or parse."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SQLExecutionError(SQLError):
+    """The statement parsed but could not be executed."""

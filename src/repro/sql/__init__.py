@@ -1,0 +1,40 @@
+"""A small SQL front end with the paper's syntax extensions (Section 4).
+
+Two extensions distinguish Immortal DB's SQL surface:
+
+* ``CREATE IMMORTAL TABLE …`` — the ``IMMORTAL`` keyword sets the catalog
+  flag that enables persistent versions and AS OF queries (Section 4.1),
+* ``BEGIN TRAN AS OF "8/12/2004 10:15:20"`` — a read-only transaction whose
+  every read sees the database as of that time (Section 4.2).
+
+The dialect also covers what the examples and benches need: column
+definitions with PRIMARY KEY, INSERT/UPDATE/DELETE, SELECT with WHERE /
+ORDER BY / LIMIT (and an inline ``AS OF`` on the FROM table), ``ALTER TABLE
+… ENABLE SNAPSHOT``, and explicit transaction control including
+``BEGIN SNAPSHOT TRAN``.
+
+Use through :class:`~repro.sql.executor.Session`::
+
+    session = Session(db)
+    session.execute('CREATE IMMORTAL TABLE MovingObjects ('
+                    'Oid SMALLINT PRIMARY KEY, LocationX INT, LocationY INT)')
+    session.execute("INSERT INTO MovingObjects VALUES (1, 10, 20)")
+    session.execute('BEGIN TRAN AS OF "2006-01-01 00:05:00"')
+    rows = session.execute(
+        "SELECT * FROM MovingObjects WHERE Oid < 10").rows
+    session.execute("COMMIT TRAN")
+"""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_statement, parse_script
+from repro.sql.executor import Result, Session
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse_statement",
+    "parse_script",
+    "Session",
+    "Result",
+]

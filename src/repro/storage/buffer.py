@@ -1,0 +1,230 @@
+"""Buffer pool: page cache with latching, dirty tracking, and flush hooks.
+
+The buffer pool is where two Immortal DB protocols are anchored:
+
+* **Flush-triggered lazy timestamping** (Section 2.2): "just before a cached
+  page is flushed to disk, we check whether the page contains any
+  non-timestamped records from committed transactions; if so, we timestamp
+  them."  The timestamp manager registers a *pre-flush hook* that runs on
+  every page write-back.
+* **WAL rule**: before a dirty page reaches disk, the log must be forced up
+  to the page's LSN.  The log registers a *log-force hook* for this.
+
+Latching is bookkeeping rather than blocking — the simulation is
+single-threaded — but conflicting acquisitions raise :exc:`LatchError`, so
+tests can assert the engine follows the paper's latch discipline (exclusive
+latch to stamp a record, shared latch for a plain read of a stamped one).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import BufferPoolError, LatchError
+from repro.storage.disk import PageStore
+from repro.storage.page import Page, decode_page
+
+
+@dataclass
+class BufferStats:
+    """Buffer pool hit/miss/eviction counters."""
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    page_flushes: int = 0
+
+    def snapshot(self) -> "BufferStats":
+        """An independent copy of the current counter values."""
+        return BufferStats(self.hits, self.misses, self.evictions, self.page_flushes)
+
+
+@dataclass
+class Frame:
+    """One cached page plus its cache metadata."""
+
+    page: Page
+    dirty: bool = False
+    rec_lsn: int = 0          # LSN when first dirtied since last clean (for DPT)
+    pin_count: int = 0
+    share_latches: int = 0
+    exclusive_latch: bool = False
+
+
+class BufferPool:
+    """LRU page cache over a :class:`~repro.storage.disk.PageStore`."""
+
+    def __init__(
+        self,
+        disk: PageStore,
+        capacity: int = 1024,
+    ) -> None:
+        if capacity < 4:
+            raise ValueError("buffer pool needs at least 4 frames")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: OrderedDict[int, Frame] = OrderedDict()
+        # Hooks. pre_flush_hooks run on the in-memory page right before it is
+        # serialized to disk; log_force is called with the page LSN (WAL rule).
+        self.pre_flush_hooks: list[Callable[[Page], None]] = []
+        self.log_force: Callable[[int], None] | None = None
+
+    # -- fetching ---------------------------------------------------------------
+
+    def get_page(self, page_id: int) -> Page:
+        """Fetch a page, reading it from disk on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return frame.page
+        self.stats.misses += 1
+        raw = self.disk.read_page(page_id)
+        page = decode_page(raw)
+        if page.page_id != page_id:
+            raise BufferPoolError(
+                f"page {page_id} image claims to be page {page.page_id}"
+            )
+        self._admit(Frame(page))
+        return page
+
+    def new_page(self, factory: Callable[[int], Page]) -> Page:
+        """Allocate a fresh page id on disk and cache ``factory(page_id)``."""
+        page_id = self.disk.allocate()
+        page = factory(page_id)
+        if page.page_id != page_id:
+            raise BufferPoolError("factory ignored the allocated page id")
+        frame = Frame(page, dirty=True, rec_lsn=page.lsn)
+        self._admit(frame)
+        return page
+
+    def replace_page(self, page: Page) -> None:
+        """Swap in a rebuilt in-memory image for an existing page id.
+
+        Page splits rebuild the current page object from scratch; the new
+        object takes over the old frame (same page id) and is dirty.
+        """
+        frame = self._frames.get(page.page_id)
+        if frame is None:
+            if not self.disk.exists(page.page_id):
+                raise BufferPoolError(f"page {page.page_id} does not exist")
+            frame = Frame(page)
+            self._admit(frame)
+        else:
+            frame.page = page
+        if not frame.dirty:
+            frame.rec_lsn = page.lsn
+        frame.dirty = True
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    # -- dirty / flush -----------------------------------------------------------
+
+    def mark_dirty(self, page_id: int, rec_lsn: int | None = None) -> None:
+        frame = self._require_frame(page_id)
+        if not frame.dirty:
+            frame.dirty = True
+            frame.rec_lsn = rec_lsn if rec_lsn is not None else frame.page.lsn
+        self._frames.move_to_end(page_id)
+
+    def is_dirty(self, page_id: int) -> bool:
+        frame = self._frames.get(page_id)
+        return frame.dirty if frame else False
+
+    def dirty_page_table(self) -> dict[int, int]:
+        """{page_id: recLSN} for every dirty cached page (checkpoint input)."""
+        return {
+            pid: frame.rec_lsn for pid, frame in self._frames.items() if frame.dirty
+        }
+
+    def flush_page(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None or not frame.dirty:
+            return
+        self._write_back(frame)
+
+    def flush_all(self) -> None:
+        for pid in list(self._frames):
+            self.flush_page(pid)
+
+    def _write_back(self, frame: Frame) -> None:
+        for hook in self.pre_flush_hooks:
+            hook(frame.page)
+        if self.log_force is not None:
+            self.log_force(frame.page.lsn)
+        self.disk.write_page(frame.page.page_id, frame.page.to_bytes())
+        frame.dirty = False
+        frame.rec_lsn = 0
+        self.stats.page_flushes += 1
+
+    # -- pinning / latching --------------------------------------------------------
+
+    def pin(self, page_id: int) -> None:
+        self._require_frame(page_id).pin_count += 1
+
+    def unpin(self, page_id: int) -> None:
+        frame = self._require_frame(page_id)
+        if frame.pin_count <= 0:
+            raise BufferPoolError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+
+    def latch_shared(self, page_id: int) -> None:
+        frame = self._require_frame(page_id)
+        if frame.exclusive_latch:
+            raise LatchError(f"page {page_id} is exclusively latched")
+        frame.share_latches += 1
+
+    def latch_exclusive(self, page_id: int) -> None:
+        frame = self._require_frame(page_id)
+        if frame.exclusive_latch or frame.share_latches:
+            raise LatchError(f"page {page_id} is already latched")
+        frame.exclusive_latch = True
+
+    def unlatch(self, page_id: int) -> None:
+        frame = self._require_frame(page_id)
+        if frame.exclusive_latch:
+            frame.exclusive_latch = False
+        elif frame.share_latches:
+            frame.share_latches -= 1
+        else:
+            raise LatchError(f"page {page_id} is not latched")
+
+    # -- crash simulation ------------------------------------------------------------
+
+    def discard_all(self) -> None:
+        """Drop every cached page *without* flushing (simulates a crash)."""
+        self._frames.clear()
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _require_frame(self, page_id: int) -> Frame:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"page {page_id} is not cached")
+        return frame
+
+    def _admit(self, frame: Frame) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[frame.page.page_id] = frame
+        self._frames.move_to_end(frame.page.page_id)
+
+    def _evict_one(self) -> None:
+        for pid, frame in self._frames.items():
+            if frame.pin_count == 0 and not frame.exclusive_latch \
+                    and not frame.share_latches:
+                if frame.dirty:
+                    self._write_back(frame)
+                del self._frames[pid]
+                self.stats.evictions += 1
+                return
+        raise BufferPoolError("buffer pool exhausted: every frame is pinned")
+
+    def cached_pages(self) -> Iterator[Page]:
+        yield from (frame.page for frame in self._frames.values())
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,196 @@
+"""Page stores: the "disk" under the buffer pool, with physical I/O accounting.
+
+Two implementations share one interface:
+
+* :class:`InMemoryDisk` — a dict of page images.  Fast, and still *durable*
+  in the simulation's sense: a crash discards the buffer pool and all
+  volatile state, never the disk.
+* :class:`FileDisk` — a real file of 8 KB pages, for examples that want an
+  artifact on disk and for testing the codec end-to-end.
+
+Every read/write is classified as *sequential* (page id adjacent to the last
+I/O) or *random*; the benchmark cost model converts these counts into
+simulated milliseconds, which is how we reproduce the paper's latency shapes
+without the authors' 2005 hardware.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.storage.constants import META_PAGE_ID, PAGE_SIZE
+
+
+@dataclass
+class DiskStats:
+    """Physical I/O counters (monotonic; take deltas across an experiment)."""
+
+    reads: int = 0
+    writes: int = 0
+    sequential_reads: int = 0
+    sequential_writes: int = 0
+    allocations: int = 0
+
+    @property
+    def random_reads(self) -> int:
+        return self.reads - self.sequential_reads
+
+    @property
+    def random_writes(self) -> int:
+        return self.writes - self.sequential_writes
+
+    def snapshot(self) -> "DiskStats":
+        """An independent copy of the current counter values."""
+        return DiskStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, since: "DiskStats") -> "DiskStats":
+        """Elementwise difference against an earlier snapshot."""
+        return DiskStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+class PageStore:
+    """Abstract page store: fixed-size pages addressed by integer page id.
+
+    Page id 0 (:data:`META_PAGE_ID`) always exists and holds the database
+    boot block; :meth:`allocate` hands out ids 1, 2, 3, …
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self.stats = DiskStats()
+        self._last_read_pid = -2
+        self._last_write_pid = -2
+
+    # -- interface -----------------------------------------------------------
+
+    def read_page(self, page_id: int) -> bytes:
+        raw = self._read(page_id)
+        self.stats.reads += 1
+        if page_id == self._last_read_pid + 1:
+            self.stats.sequential_reads += 1
+        self._last_read_pid = page_id
+        return raw
+
+    def write_page(self, page_id: int, raw: bytes) -> None:
+        if len(raw) != self.page_size:
+            raise StorageError(
+                f"page image is {len(raw)} bytes, page size is {self.page_size}"
+            )
+        self._write(page_id, raw)
+        self.stats.writes += 1
+        if page_id == self._last_write_pid + 1:
+            self.stats.sequential_writes += 1
+        self._last_write_pid = page_id
+
+    def allocate(self) -> int:
+        self.stats.allocations += 1
+        return self._allocate()
+
+    @property
+    def page_count(self) -> int:
+        raise NotImplementedError
+
+    def exists(self, page_id: int) -> bool:
+        return 0 <= page_id < self.page_count
+
+    def close(self) -> None:
+        """Release underlying resources (idempotent)."""
+        pass
+
+    # -- backend hooks ---------------------------------------------------------
+
+    def _read(self, page_id: int) -> bytes:
+        raise NotImplementedError
+
+    def _write(self, page_id: int, raw: bytes) -> None:
+        raise NotImplementedError
+
+    def _allocate(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryDisk(PageStore):
+    """Dict-backed page store (the default for tests and benchmarks)."""
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._pages: dict[int, bytes] = {META_PAGE_ID: bytes(page_size)}
+        self._next_pid = 1
+
+    def _read(self, page_id: int) -> bytes:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(f"page {page_id} does not exist") from None
+
+    def _write(self, page_id: int, raw: bytes) -> None:
+        if page_id >= self._next_pid and page_id != META_PAGE_ID:
+            raise PageNotFoundError(f"page {page_id} was never allocated")
+        self._pages[page_id] = raw
+
+    def _allocate(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        self._pages[pid] = bytes(self.page_size)
+        return pid
+
+    @property
+    def page_count(self) -> int:
+        return self._next_pid
+
+
+class FileDisk(PageStore):
+    """File-backed page store: page *i* lives at byte offset ``i * page_size``."""
+
+    def __init__(self, path: str | os.PathLike, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self.path = os.fspath(path)
+        preexisting = os.path.exists(self.path)
+        self._file = open(self.path, "r+b" if preexisting else "w+b")
+        if not preexisting:
+            self._file.write(bytes(page_size))  # the meta page
+            self._file.flush()
+        size = os.fstat(self._file.fileno()).st_size
+        if size % page_size:
+            raise StorageError(f"{self.path}: size {size} not a page multiple")
+        self._next_pid = max(1, size // page_size)
+
+    def _read(self, page_id: int) -> bytes:
+        if not self.exists(page_id):
+            raise PageNotFoundError(f"page {page_id} does not exist")
+        self._file.seek(page_id * self.page_size)
+        raw = self._file.read(self.page_size)
+        if len(raw) != self.page_size:
+            raise PageNotFoundError(f"page {page_id}: short read")
+        return raw
+
+    def _write(self, page_id: int, raw: bytes) -> None:
+        if not self.exists(page_id):
+            raise PageNotFoundError(f"page {page_id} was never allocated")
+        self._file.seek(page_id * self.page_size)
+        self._file.write(raw)
+
+    def _allocate(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        self._file.seek(pid * self.page_size)
+        self._file.write(bytes(self.page_size))
+        return pid
+
+    @property
+    def page_count(self) -> int:
+        return self._next_pid
+
+    def close(self) -> None:
+        """Release underlying resources (idempotent)."""
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()

@@ -1,0 +1,495 @@
+"""Slotted pages with intra-page version chains (Section 3.2, Figure 2).
+
+A data page keeps a conventional slotted layout — header at the front, slot
+array growing from the back — with two Immortal DB additions to the header:
+
+* **history pointer**: page id of the history page holding versions that once
+  lived in this page (0 = none), and
+* **split time**: the start of this page's time range, i.e. the time used by
+  the most recent time split (``Timestamp.MIN`` if the page never split).
+
+Each slot points at the *newest* version of one record; older versions are
+reached only through the per-record version chain (the ``VP`` fields), never
+directly from the slot array, so a current-time transaction sees exactly the
+records a conventional page would give it.
+
+Pages of other types (B-tree index nodes, TSB-tree index nodes, PTT nodes)
+subclass :class:`Page` and register their codec in :data:`PAGE_CODECS` so the
+buffer pool can deserialize any raw page image.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterator
+
+from repro.clock import Timestamp
+from repro.errors import PageFormatError, PageFullError
+from repro.storage.constants import (
+    COMMON_HEADER_SIZE,
+    DATA_HEADER_SIZE,
+    NO_PAGE,
+    NO_PREVIOUS,
+    PAGE_SIZE,
+    PageType,
+    RecordFlag,
+    SLOT_SIZE,
+)
+from repro.storage.record import RecordVersion
+
+
+class Page:
+    """Base class for every page type: common header + codec registry."""
+
+    page_type: PageType = PageType.META
+
+    def __init__(self, page_id: int) -> None:
+        self.page_id = page_id
+        self.lsn = 0            # LSN of the last log record applied (WAL rule)
+        self.header_flags = 0
+
+    # Every subclass must produce exactly PAGE_SIZE bytes.
+    def to_bytes(self) -> bytes:  # pragma: no cover - abstract
+        """Serialize to the fixed-size on-disk image."""
+        raise NotImplementedError
+
+    def _common_header(self) -> bytes:
+        return b"".join(
+            (
+                self.page_id.to_bytes(4, "big"),
+                int(self.page_type).to_bytes(1, "big"),
+                self.header_flags.to_bytes(1, "big"),
+                b"\x00\x00",
+                self.lsn.to_bytes(8, "big"),
+            )
+        )
+
+    @staticmethod
+    def read_common_header(raw: bytes) -> tuple[int, int, int, int]:
+        """Return (page_id, page_type, flags, lsn) from a raw page image."""
+        if len(raw) != PAGE_SIZE:
+            raise PageFormatError(f"page image is {len(raw)} bytes, want {PAGE_SIZE}")
+        page_id = int.from_bytes(raw[0:4], "big")
+        page_type = raw[4]
+        flags = raw[5]
+        lsn = int.from_bytes(raw[8:16], "big")
+        return page_id, page_type, flags, lsn
+
+
+PAGE_CODECS: dict[int, Callable[[bytes], "Page"]] = {}
+"""Registry: page-type byte -> ``from_bytes`` decoder."""
+
+
+def register_page_codec(page_type: PageType, decoder: Callable[[bytes], Page]) -> None:
+    PAGE_CODECS[int(page_type)] = decoder
+
+
+def decode_page(raw: bytes) -> Page:
+    """Deserialize a raw page image, dispatching on its page-type byte."""
+    _, page_type, _, _ = Page.read_common_header(raw)
+    try:
+        decoder = PAGE_CODECS[page_type]
+    except KeyError:
+        raise PageFormatError(f"unknown page type {page_type}") from None
+    return decoder(raw)
+
+
+class DataPage(Page):
+    """A current or history data page holding versioned records."""
+
+    page_type = PageType.DATA_CURRENT
+
+    IMMORTAL_FLAG = 1  # header_flags bit: page belongs to an immortal table
+
+    def __init__(
+        self,
+        page_id: int,
+        *,
+        is_history: bool = False,
+        page_size: int = PAGE_SIZE,
+        table_id: int = 0,
+        immortal: bool = False,
+    ) -> None:
+        super().__init__(page_id)
+        if is_history:
+            self.page_type = PageType.DATA_HISTORY
+        if immortal:
+            self.header_flags |= self.IMMORTAL_FLAG
+        self.table_id = table_id
+        self.page_size = page_size
+        # Versions live in self.versions in storage order; chains are
+        # expressed by RecordVersion.vp holding *indices into this list*.
+        self.versions: list[RecordVersion] = []
+        # Slot array: index of the newest version of each record, sorted by
+        # key so current-time range scans work exactly as in a B-tree leaf.
+        self.slots: list[int] = []
+        self._slot_keys: list[bytes] = []
+        # Immortal DB header additions (Section 3.2):
+        self.split_ts: Timestamp = Timestamp.MIN   # start of this page's time range
+        self.end_ts: Timestamp = Timestamp.MAX     # exclusive end (history pages)
+        self.history_page_id: int = NO_PAGE        # chain of time-split pages
+        self.next_leaf_id: int = NO_PAGE           # B-tree leaf sibling chain
+        self._used = DATA_HEADER_SIZE
+
+    @property
+    def is_history(self) -> bool:
+        return self.page_type == PageType.DATA_HISTORY
+
+    @property
+    def immortal(self) -> bool:
+        """True when the page belongs to a transaction-time (immortal) table."""
+        return bool(self.header_flags & self.IMMORTAL_FLAG)
+
+    # -- space accounting ----------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.page_size - self._used
+
+    def fits(self, record: RecordVersion, *, new_slot: bool) -> bool:
+        need = record.size_on_page + (SLOT_SIZE if new_slot else 0)
+        return need <= self.free_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self._used / self.page_size
+
+    def current_version_bytes(self) -> int:
+        """Bytes consumed by only the newest (slot-array-visible) versions.
+
+        This is the quantity the split policy thresholds on: after a time
+        split only these versions (plus uncommitted ones) remain, so a page
+        whose *current* content already exceeds the threshold needs a key
+        split too (Section 3.3).
+        """
+        return sum(self.versions[i].size_on_page for i in self.slots)
+
+    # -- slot lookup -----------------------------------------------------------
+
+    def slot_position(self, key: bytes) -> int:
+        """bisect position of ``key`` in the slot array."""
+        return bisect_left(self._slot_keys, key)
+
+    def slot_of(self, key: bytes) -> int | None:
+        """Slot number of ``key``, or None if the page has no record for it."""
+        pos = self.slot_position(key)
+        if pos < len(self._slot_keys) and self._slot_keys[pos] == key:
+            return pos
+        return None
+
+    def head(self, key: bytes) -> RecordVersion | None:
+        """The newest version of ``key`` in this page (what a slot points at)."""
+        slot = self.slot_of(key)
+        if slot is None:
+            return None
+        return self.versions[self.slots[slot]]
+
+    def head_at_slot(self, slot: int) -> RecordVersion:
+        return self.versions[self.slots[slot]]
+
+    def keys(self) -> list[bytes]:
+        """All record keys present in the slot array, in key order."""
+        return list(self._slot_keys)
+
+    @property
+    def min_key(self) -> bytes | None:
+        return self._slot_keys[0] if self._slot_keys else None
+
+    @property
+    def max_key(self) -> bytes | None:
+        return self._slot_keys[-1] if self._slot_keys else None
+
+    # -- version chains --------------------------------------------------------
+
+    def chain(self, key: bytes) -> Iterator[RecordVersion]:
+        """Iterate the versions of ``key`` in this page, newest first.
+
+        Iteration stops at the page boundary: if the oldest local version's
+        VP points into the history page (``VP_IN_HISTORY``), the caller must
+        continue there (see :meth:`continues_in_history`).
+        """
+        slot = self.slot_of(key)
+        if slot is None:
+            return
+        index = self.slots[slot]
+        while True:
+            version = self.versions[index]
+            yield version
+            if not version.has_previous or version.vp_in_history:
+                return
+            index = version.vp
+
+    def chain_from(self, version_index: int) -> Iterator[RecordVersion]:
+        """Iterate newest-first starting from an explicit version index."""
+        index = version_index
+        while True:
+            version = self.versions[index]
+            yield version
+            if not version.has_previous or version.vp_in_history:
+                return
+            index = version.vp
+
+    def continues_in_history(self, key: bytes) -> int | None:
+        """If ``key``'s chain continues in the history page, its slot there."""
+        tail: RecordVersion | None = None
+        for tail in self.chain(key):
+            pass
+        if tail is not None and tail.vp_in_history:
+            return tail.vp
+        return None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert_version(self, record: RecordVersion) -> None:
+        """Add a brand-new version written by an active transaction.
+
+        If the key already has versions here, the new version becomes the
+        chain head and its VP points at the old head.  Raises
+        :exc:`PageFullError` when the page lacks room — the caller then
+        performs a time split and/or key split and retries.
+        """
+        pos = self.slot_position(record.key)
+        existing = pos < len(self._slot_keys) and self._slot_keys[pos] == record.key
+        if not self.fits(record, new_slot=not existing):
+            raise PageFullError(
+                f"page {self.page_id}: no room for {record.size_on_page}-byte record"
+            )
+        if existing:
+            record.vp = self.slots[pos]
+            record.flags &= ~RecordFlag.VP_IN_HISTORY
+            self.versions.append(record)
+            self.slots[pos] = len(self.versions) - 1
+            self._used += record.size_on_page
+        else:
+            record.vp = NO_PREVIOUS
+            self.versions.append(record)
+            self.slots.insert(pos, len(self.versions) - 1)
+            self._slot_keys.insert(pos, record.key)
+            self._used += record.size_on_page + SLOT_SIZE
+
+    def add_chain(
+        self,
+        chain_newest_first: list[RecordVersion],
+        *,
+        history_slot: int | None = None,
+    ) -> None:
+        """Install a whole version chain for one key (used by page splits).
+
+        ``chain_newest_first`` are detached copies; their VP/flags are
+        rewritten here.  If ``history_slot`` is given, the oldest version's
+        VP is pointed at that slot of the page's history page.
+        """
+        if not chain_newest_first:
+            raise ValueError("empty chain")
+        key = chain_newest_first[0].key
+        if any(v.key != key for v in chain_newest_first):
+            raise ValueError("chain mixes keys")
+        if self.slot_of(key) is not None:
+            raise ValueError(f"page {self.page_id} already has a slot for {key!r}")
+        need = sum(v.size_on_page for v in chain_newest_first) + SLOT_SIZE
+        if need > self.free_bytes:
+            raise PageFullError(
+                f"page {self.page_id}: no room for {need}-byte chain"
+            )
+        # Store oldest-first so VP indices always point backwards in the list.
+        prev_index: int | None = None
+        for version in reversed(chain_newest_first):
+            if prev_index is None:
+                if history_slot is not None:
+                    version.vp = history_slot
+                    version.flags |= RecordFlag.VP_IN_HISTORY
+                else:
+                    version.vp = NO_PREVIOUS
+                    version.flags &= ~RecordFlag.VP_IN_HISTORY
+            else:
+                version.vp = prev_index
+                version.flags &= ~RecordFlag.VP_IN_HISTORY
+            self.versions.append(version)
+            prev_index = len(self.versions) - 1
+        pos = self.slot_position(key)
+        self.slots.insert(pos, prev_index)  # head = newest = last appended
+        self._slot_keys.insert(pos, key)
+        self._used += need
+
+    def remove_newest_version(self, key: bytes) -> RecordVersion:
+        """Remove the chain head for ``key`` (transaction rollback / undo).
+
+        The slot is re-pointed at the previous version; if the head had no
+        local predecessor the slot is removed entirely.  Version indices are
+        compacted so VP pointers and slots stay valid.
+        """
+        slot = self.slot_of(key)
+        if slot is None:
+            raise KeyError(key)
+        head_index = self.slots[slot]
+        head = self.versions[head_index]
+        if head.has_previous and not head.vp_in_history:
+            self.slots[slot] = head.vp
+        else:
+            del self.slots[slot]
+            del self._slot_keys[slot]
+            self._used -= SLOT_SIZE
+        del self.versions[head_index]
+        self._used -= head.size_on_page
+        # Compact: every index greater than head_index shifts down by one.
+        for version in self.versions:
+            if version.has_previous and not version.vp_in_history \
+                    and version.vp > head_index:
+                version.vp -= 1
+        self.slots = [i - 1 if i > head_index else i for i in self.slots]
+        return head
+
+    def replace_payload_in_place(self, key: bytes, payload: bytes) -> None:
+        """In-place update for conventional (non-versioned) tables."""
+        slot = self.slot_of(key)
+        if slot is None:
+            raise KeyError(key)
+        head = self.versions[self.slots[slot]]
+        delta = len(payload) - len(head.payload)
+        if delta > self.free_bytes:
+            raise PageFullError(
+                f"page {self.page_id}: in-place growth of {delta} bytes does not fit"
+            )
+        head.payload = payload
+        self._used += delta
+
+    def has_unstamped_records(self) -> bool:
+        """True if any version still carries a TID instead of a timestamp."""
+        return any(not v.is_timestamped for v in self.versions)
+
+    def unstamped_versions(self) -> Iterator[RecordVersion]:
+        for version in self.versions:
+            if not version.is_timestamped:
+                yield version
+
+    # -- codec --------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the fixed-size on-disk image."""
+        buf = bytearray(self.page_size)
+        buf[0:COMMON_HEADER_SIZE] = self._common_header()
+        ext = b"".join(
+            (
+                len(self.slots).to_bytes(2, "big"),
+                len(self.versions).to_bytes(2, "big"),
+                self.split_ts.to_bytes(),
+                self.end_ts.to_bytes(),
+                self.history_page_id.to_bytes(4, "big"),
+                self.next_leaf_id.to_bytes(4, "big"),
+                self.table_id.to_bytes(4, "big"),
+            )
+        )
+        buf[COMMON_HEADER_SIZE : COMMON_HEADER_SIZE + len(ext)] = ext
+        offset = DATA_HEADER_SIZE
+        for version in self.versions:
+            image = version.to_bytes()
+            end = offset + len(image)
+            buf[offset:end] = image
+            offset = end
+        slot_area = self.page_size - SLOT_SIZE * len(self.slots)
+        if offset > slot_area:
+            raise PageFormatError(
+                f"page {self.page_id} overflows its image "
+                f"({offset} bytes of records, slot area at {slot_area})"
+            )
+        for i, head_index in enumerate(self.slots):
+            at = slot_area + i * SLOT_SIZE
+            buf[at : at + SLOT_SIZE] = head_index.to_bytes(SLOT_SIZE, "big")
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DataPage":
+        """Deserialize from an on-disk image."""
+        page_id, page_type, flags, lsn = Page.read_common_header(raw)
+        if page_type not in (PageType.DATA_CURRENT, PageType.DATA_HISTORY):
+            raise PageFormatError(f"not a data page: type {page_type}")
+        page = cls(page_id, is_history=page_type == PageType.DATA_HISTORY,
+                   page_size=len(raw))
+        page.header_flags = flags
+        page.lsn = lsn
+        at = COMMON_HEADER_SIZE
+        nslots = int.from_bytes(raw[at : at + 2], "big")
+        nversions = int.from_bytes(raw[at + 2 : at + 4], "big")
+        page.split_ts = Timestamp.from_bytes(raw[at + 4 : at + 16])
+        page.end_ts = Timestamp.from_bytes(raw[at + 16 : at + 28])
+        page.history_page_id = int.from_bytes(raw[at + 28 : at + 32], "big")
+        page.next_leaf_id = int.from_bytes(raw[at + 32 : at + 36], "big")
+        page.table_id = int.from_bytes(raw[at + 36 : at + 40], "big")
+        offset = DATA_HEADER_SIZE
+        for _ in range(nversions):
+            version, offset = RecordVersion.from_bytes(raw, offset)
+            page.versions.append(version)
+        slot_area = len(raw) - SLOT_SIZE * nslots
+        heads: list[int] = []
+        for i in range(nslots):
+            slot_at = slot_area + i * SLOT_SIZE
+            head_index = int.from_bytes(raw[slot_at : slot_at + SLOT_SIZE], "big")
+            if head_index >= nversions:
+                raise PageFormatError(
+                    f"page {page_id}: slot {i} points past version area"
+                )
+            heads.append(head_index)
+        page.slots = heads
+        page._slot_keys = [page.versions[h].key for h in heads]
+        if page._slot_keys != sorted(page._slot_keys):
+            raise PageFormatError(f"page {page_id}: slot array not key-ordered")
+        page._used = (
+            DATA_HEADER_SIZE
+            + sum(v.size_on_page for v in page.versions)
+            + SLOT_SIZE * nslots
+        )
+        return page
+
+
+register_page_codec(PageType.DATA_CURRENT, DataPage.from_bytes)
+register_page_codec(PageType.DATA_HISTORY, DataPage.from_bytes)
+
+
+class MetaPage(Page):
+    """The boot page (page 0): an opaque, length-prefixed blob.
+
+    The engine stores its durable root information here — catalog, PTT root
+    page id, index roots — serialized by :mod:`repro.core.catalog`.
+    """
+
+    page_type = PageType.META
+
+    def __init__(self, page_id: int = 0, blob: bytes = b"",
+                 page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_id)
+        self.page_size = page_size
+        self.blob = blob
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the fixed-size on-disk image."""
+        capacity = self.page_size - COMMON_HEADER_SIZE - 4
+        if len(self.blob) > capacity:
+            raise PageFormatError(
+                f"meta blob of {len(self.blob)} bytes exceeds capacity {capacity}"
+            )
+        buf = bytearray(self.page_size)
+        buf[0:COMMON_HEADER_SIZE] = self._common_header()
+        at = COMMON_HEADER_SIZE
+        buf[at : at + 4] = len(self.blob).to_bytes(4, "big")
+        buf[at + 4 : at + 4 + len(self.blob)] = self.blob
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MetaPage":
+        """Deserialize from an on-disk image."""
+        page_id, page_type, flags, lsn = Page.read_common_header(raw)
+        if page_type != PageType.META:
+            raise PageFormatError(f"not a meta page: type {page_type}")
+        at = COMMON_HEADER_SIZE
+        length = int.from_bytes(raw[at : at + 4], "big")
+        page = cls(page_id, bytes(raw[at + 4 : at + 4 + length]), page_size=len(raw))
+        page.header_flags = flags
+        page.lsn = lsn
+        return page
+
+
+register_page_codec(PageType.META, MetaPage.from_bytes)

@@ -1,0 +1,178 @@
+"""Record versions: the on-page record layout of Figure 1.
+
+A record image is::
+
+    flags        1 byte    (RecordFlag bits: delete stub, VP-in-history)
+    key_len      2 bytes
+    payload_len  2 bytes
+    key          key_len bytes   (binary-comparable primary key image)
+    payload      payload_len bytes
+    --- 14-byte versioning tail (Figure 1b) ---
+    VP           2 bytes   pointer to the previous version of the record
+    Ttime        8 bytes   commit time of the writer, or its TID while
+                           the record is not yet timestamped (high bit set)
+    SN           4 bytes   sequence-number extension of the timestamp
+
+The versioning tail reuses the same 14 bytes SQL Server spends on snapshot-
+isolation versioning, so conventional tables pay no extra record overhead —
+we keep that property by giving every record the tail regardless of whether
+its table is immortal.
+
+``VP`` is an *intra-page* pointer: the index of the previous version within
+the same page's version area.  After a time split moves older versions to a
+history page, ``VP`` holds the **slot number in the history page** instead
+and the ``VP_IN_HISTORY`` flag is set (the page header's history pointer
+identifies which page that is) — exactly the scheme of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Timestamp, encode_tid_field, field_is_tid, field_tid
+from repro.errors import PageFormatError
+from repro.storage.constants import NO_PREVIOUS, RecordFlag, VERSIONING_TAIL_SIZE
+
+_FIXED_OVERHEAD = 1 + 2 + 2 + VERSIONING_TAIL_SIZE  # flags + lengths + tail
+
+
+@dataclass(slots=True)
+class RecordVersion:
+    """One version of one record, as stored in a page.
+
+    Instances are mutable in exactly two ways after creation: lazy
+    timestamping replaces a TID-marked ``ttime_field`` with the commit
+    timestamp (:meth:`stamp`), and page splits rewrite ``vp``/``flags`` when
+    chains are relinked.  Payload and key never change — updates create a
+    *new* version (§1.2: old versions are immortal).
+    """
+
+    key: bytes
+    payload: bytes
+    flags: int = RecordFlag.NONE
+    vp: int = NO_PREVIOUS
+    ttime_field: int = 0
+    sn: int = 0
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_delete_stub(self) -> bool:
+        return bool(self.flags & RecordFlag.DELETE_STUB)
+
+    @property
+    def vp_in_history(self) -> bool:
+        return bool(self.flags & RecordFlag.VP_IN_HISTORY)
+
+    @property
+    def has_previous(self) -> bool:
+        return self.vp != NO_PREVIOUS
+
+    @property
+    def is_timestamped(self) -> bool:
+        """True once the Ttime field holds a real commit time, not a TID."""
+        return not field_is_tid(self.ttime_field)
+
+    @property
+    def tid(self) -> int:
+        """The writer's TID (only valid while not yet timestamped)."""
+        return field_tid(self.ttime_field)
+
+    @property
+    def timestamp(self) -> Timestamp:
+        """The version's start time (only valid once timestamped)."""
+        if field_is_tid(self.ttime_field):
+            raise ValueError(
+                f"record for key {self.key!r} is not timestamped yet "
+                f"(TID {field_tid(self.ttime_field)})"
+            )
+        return Timestamp(self.ttime_field, self.sn)
+
+    # -- mutation ------------------------------------------------------------
+
+    @classmethod
+    def new(
+        cls,
+        key: bytes,
+        payload: bytes,
+        tid: int,
+        *,
+        delete_stub: bool = False,
+    ) -> "RecordVersion":
+        """Create a fresh, not-yet-timestamped version written by ``tid``."""
+        flags = RecordFlag.DELETE_STUB if delete_stub else RecordFlag.NONE
+        return cls(
+            key=key,
+            payload=b"" if delete_stub else payload,
+            flags=int(flags),
+            vp=NO_PREVIOUS,
+            ttime_field=encode_tid_field(tid),
+            sn=0,
+        )
+
+    def stamp(self, ts: Timestamp) -> None:
+        """Replace the TID marking with the transaction's commit timestamp."""
+        if self.is_timestamped:
+            raise ValueError(f"record for key {self.key!r} is already timestamped")
+        self.ttime_field = ts.ttime
+        self.sn = ts.sn
+
+    def copy(self) -> "RecordVersion":
+        """A detached copy (used when a time split replicates spanning versions)."""
+        return RecordVersion(
+            key=self.key,
+            payload=self.payload,
+            flags=self.flags,
+            vp=self.vp,
+            ttime_field=self.ttime_field,
+            sn=self.sn,
+        )
+
+    # -- sizing / codec ------------------------------------------------------
+
+    @property
+    def size_on_page(self) -> int:
+        """Bytes this version occupies in a page's record area."""
+        return _FIXED_OVERHEAD + len(self.key) + len(self.payload)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the fixed-size on-disk image."""
+        if len(self.key) > 0xFFFF or len(self.payload) > 0xFFFF:
+            raise PageFormatError("key or payload exceeds 64 KiB record limit")
+        return b"".join(
+            (
+                self.flags.to_bytes(1, "big"),
+                len(self.key).to_bytes(2, "big"),
+                len(self.payload).to_bytes(2, "big"),
+                self.key,
+                self.payload,
+                self.vp.to_bytes(2, "big"),
+                self.ttime_field.to_bytes(8, "big"),
+                self.sn.to_bytes(4, "big"),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> tuple["RecordVersion", int]:
+        """Decode one record image at ``offset``; return (record, next_offset)."""
+        try:
+            flags = data[offset]
+            key_len = int.from_bytes(data[offset + 1 : offset + 3], "big")
+            payload_len = int.from_bytes(data[offset + 3 : offset + 5], "big")
+            body = offset + 5
+            key = bytes(data[body : body + key_len])
+            payload = bytes(data[body + key_len : body + key_len + payload_len])
+            tail = body + key_len + payload_len
+            vp = int.from_bytes(data[tail : tail + 2], "big")
+            ttime_field = int.from_bytes(data[tail + 2 : tail + 10], "big")
+            sn = int.from_bytes(data[tail + 10 : tail + 14], "big")
+        except IndexError as exc:  # pragma: no cover - defensive
+            raise PageFormatError("truncated record image") from exc
+        end = tail + 14
+        if len(key) != key_len or len(payload) != payload_len or end > len(data):
+            raise PageFormatError("truncated record image")
+        record = cls(
+            key=key, payload=payload, flags=flags, vp=vp,
+            ttime_field=ttime_field, sn=sn,
+        )
+        return record, end

@@ -1,0 +1,31 @@
+"""Timestamp management (paper Section 2).
+
+Immortal DB chooses a transaction's timestamp **as late as possible** — at
+commit — so the timestamp order provably agrees with serialization order,
+and then propagates that timestamp to the transaction's record versions
+**lazily**, on next access / page flush / time split, instead of revisiting
+them eagerly before commit.
+
+* :mod:`repro.timestamp.ptt` — the Persistent Timestamp Table: a B-tree
+  keyed by TID mapping to (Ttime, SN), stored in buffer-pool pages,
+* :mod:`repro.timestamp.vtt` — the Volatile Timestamp Table: an in-memory
+  cache with the per-transaction RefCount of not-yet-stamped versions,
+* :mod:`repro.timestamp.manager` — the four-stage lazy timestamping
+  protocol, its trigger points, and checkpoint-gated PTT garbage collection,
+* :mod:`repro.timestamp.eager` — the eager alternative the paper rejects,
+  implemented as a baseline for the lazy-vs-eager ablation.
+"""
+
+from repro.timestamp.ptt import PersistentTimestampTable, PTTNodePage
+from repro.timestamp.vtt import VolatileTimestampTable, VTTEntry
+from repro.timestamp.manager import TimestampManager
+from repro.timestamp.eager import EagerTimestampManager
+
+__all__ = [
+    "PersistentTimestampTable",
+    "PTTNodePage",
+    "VolatileTimestampTable",
+    "VTTEntry",
+    "TimestampManager",
+    "EagerTimestampManager",
+]

@@ -1,0 +1,59 @@
+"""Write-ahead logging and crash recovery (ARIES-style).
+
+The paper's recovery manager gains "new log operations … to enable recovery
+redo and undo [of] the versioned updates required for transaction time
+support" (Section 1.2).  This package provides:
+
+* :mod:`repro.wal.records` — the log record vocabulary, including the
+  versioned-update operations (insert-version, update-version, delete-stub)
+  and redo-only multi-page-image records for structure modifications
+  (time splits, key splits, index posting),
+* :mod:`repro.wal.log` — the log manager: append/force, durable-prefix
+  semantics for crash simulation, per-transaction backchains,
+* :mod:`repro.wal.checkpoint` — fuzzy checkpoints and the **redo scan start
+  point**, the LSN the PTT garbage collector compares against (Section 2.2),
+* :mod:`repro.wal.recovery` — analysis / redo / undo passes.
+
+One deliberate omission, straight from the paper: **timestamping is never
+logged**.  Lazy timestamping rewrites a TID into a timestamp on a latched
+page without any log record; recovery instead relies on the PTT entry
+surviving until every re-stamped page is provably on disk.
+"""
+
+from repro.wal.records import (
+    AbortEnd,
+    AbortTxn,
+    BeginTxn,
+    CheckpointBegin,
+    CheckpointEnd,
+    CommitTxn,
+    CompensationRecord,
+    LogRecord,
+    MultiPageImage,
+    PTTDelete,
+    VersionOp,
+    VersionOpKind,
+)
+from repro.wal.log import LogManager, LogStats
+from repro.wal.checkpoint import CheckpointManager
+from repro.wal.recovery import RecoveryReport, run_recovery
+
+__all__ = [
+    "LogRecord",
+    "BeginTxn",
+    "CommitTxn",
+    "AbortTxn",
+    "AbortEnd",
+    "VersionOp",
+    "VersionOpKind",
+    "MultiPageImage",
+    "CompensationRecord",
+    "CheckpointBegin",
+    "CheckpointEnd",
+    "PTTDelete",
+    "LogManager",
+    "LogStats",
+    "CheckpointManager",
+    "run_recovery",
+    "RecoveryReport",
+]

@@ -1,0 +1,73 @@
+"""Fuzzy checkpoints and the redo scan start point.
+
+A checkpoint logs the active-transaction table and the dirty page table
+without necessarily flushing anything (``flush=False``).  The **redo scan
+start point** — the LSN recovery's redo pass would begin at — is the
+minimum recLSN in the last checkpoint's dirty page table.
+
+The redo scan start point matters beyond recovery: Section 2.2 gates PTT
+garbage collection on it.  Timestamping is not logged, so a PTT entry may
+only be dropped once "the redo scan start point LSN becomes greater than
+[the transaction's] VTT LSN", proving that every page re-stamped for that
+transaction has reached disk.  Checkpointing (optionally with a flush) is
+what advances the scan point and lets the PTT shrink.
+"""
+
+from __future__ import annotations
+
+from repro.storage.buffer import BufferPool
+from repro.wal.log import LogManager
+from repro.wal.records import CheckpointBegin, CheckpointEnd
+
+
+class CheckpointManager:
+    """Takes checkpoints and answers "where would redo start?"."""
+
+    def __init__(self, log: LogManager, buffer: BufferPool) -> None:
+        self.log = log
+        self.buffer = buffer
+        self.checkpoints_taken = 0
+
+    def take(
+        self,
+        att: dict[int, tuple[int, int]] | None = None,
+        *,
+        flush: bool = False,
+    ) -> int:
+        """Take a checkpoint; returns the LSN of its end record.
+
+        ``att`` is {tid: (last_lsn, phase)} for transactions currently
+        active (the engine supplies it).  ``flush=True`` writes all dirty
+        pages first, which empties the dirty page table and advances the
+        redo scan start point as far as possible — the knob the PTT garbage
+        collector depends on.
+        """
+        if flush:
+            self.buffer.flush_all()
+        begin_lsn = self.log.append(CheckpointBegin())
+        end = CheckpointEnd(
+            begin_lsn=begin_lsn,
+            att=dict(att or {}),
+            dpt=self.buffer.dirty_page_table(),
+        )
+        end_lsn = self.log.append(end)
+        self.log.force()
+        self.log.set_master_checkpoint(end_lsn)
+        self.checkpoints_taken += 1
+        return end_lsn
+
+    def redo_scan_start(self) -> int:
+        """The LSN redo would start from, per the last durable checkpoint.
+
+        Returns 0 when no checkpoint has been taken (redo would scan the
+        whole log, and no PTT entry is collectable yet).
+        """
+        master = self.log.master_checkpoint_lsn
+        if not master:
+            return 0
+        end = self.log.record_at(master)
+        if not isinstance(end, CheckpointEnd):  # pragma: no cover - defensive
+            return 0
+        if end.dpt:
+            return min(end.dpt.values())
+        return end.begin_lsn

@@ -1,0 +1,439 @@
+"""Log record vocabulary and binary codecs.
+
+Every record serializes as ``tag(1) | tid(8) | prev_lsn(8) | body`` — the
+log manager frames each record with a 4-byte length, and the LSN of a record
+is its byte offset in the log, so LSN arithmetic matches a real log file.
+
+``prev_lsn`` threads the per-transaction backchain used by the undo pass
+(0 = no previous record for this transaction).  System records (checkpoints,
+structure modifications) use tid 0.
+
+Design notes:
+
+* **Versioned updates** (:class:`VersionOp`) are physiological: redo applies
+  the version to the page it names, guarded by the page LSN; undo is logical
+  (remove the transaction's uncommitted version wherever the key now lives),
+  because a key split may have moved the record after the update.
+* **Structure modifications** (:class:`MultiPageImage`) are redo-only and
+  atomic: a single record carries the after-images of every page touched by
+  a time split / key split / index post, so a crash can never leave half a
+  split behind.
+* **Compensation records** (:class:`CompensationRecord`) make undo
+  restartable: redo-only page images plus ``undo_next_lsn``.
+* **Commit** records carry the transaction's chosen timestamp and whether a
+  PTT entry was written; redo of a commit re-inserts a missing PTT entry
+  (logical, idempotent).  :class:`PTTDelete` logs PTT garbage collection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import LogFormatError
+
+
+class VersionOpKind(enum.IntEnum):
+    INSERT = 0          # first version of a key
+    UPDATE = 1          # new version of an existing key
+    DELETE = 2          # delete stub version
+
+
+class SMOReason(enum.IntEnum):
+    TIME_SPLIT = 0
+    KEY_SPLIT = 1
+    INDEX_POST = 2
+    PTT_NODE = 3
+    OTHER = 4
+
+
+def _put_bytes(chunks: list[bytes], data: bytes, width: int = 4) -> None:
+    chunks.append(len(data).to_bytes(width, "big"))
+    chunks.append(data)
+
+
+class _Reader:
+    """Cursor over a record body."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self.data = data
+        self.offset = offset
+
+    def u(self, width: int) -> int:
+        value = int.from_bytes(self.data[self.offset : self.offset + width], "big")
+        self.offset += width
+        return value
+
+    def blob(self, width: int = 4) -> bytes:
+        length = self.u(width)
+        out = bytes(self.data[self.offset : self.offset + length])
+        if len(out) != length:
+            raise LogFormatError("truncated log record body")
+        self.offset += length
+        return out
+
+
+@dataclass
+class LogRecord:
+    """Base class.  ``lsn`` is assigned by the log manager on append."""
+
+    tid: int = 0
+    prev_lsn: int = 0
+    lsn: int = field(default=0, compare=False)
+
+    TAG = -1
+    REDO_ONLY = False
+
+    # -- codec ------------------------------------------------------------
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        return b""
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "LogRecord":
+        """Decode this record type's body fields from a log image."""
+        return cls(tid=tid, prev_lsn=prev_lsn)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the fixed-size on-disk image."""
+        return b"".join(
+            (
+                self.TAG.to_bytes(1, "big"),
+                self.tid.to_bytes(8, "big"),
+                self.prev_lsn.to_bytes(8, "big"),
+                self.body_bytes(),
+            )
+        )
+
+    @staticmethod
+    def decode(raw: bytes) -> "LogRecord":
+        if len(raw) < 17:
+            raise LogFormatError("log record shorter than its fixed header")
+        tag = raw[0]
+        tid = int.from_bytes(raw[1:9], "big")
+        prev_lsn = int.from_bytes(raw[9:17], "big")
+        try:
+            cls = _RECORD_TYPES[tag]
+        except KeyError:
+            raise LogFormatError(f"unknown log record tag {tag}") from None
+        return cls.from_body(tid, prev_lsn, _Reader(raw, 17))
+
+
+@dataclass
+class BeginTxn(LogRecord):
+    TAG = 1
+
+
+@dataclass
+class CommitTxn(LogRecord):
+    """Transaction commit; carries the commit timestamp chosen at commit.
+
+    ``ptt`` is True when the transaction updated an immortal table and thus
+    wrote a (TID, Ttime, SN) entry to the persistent timestamp table as part
+    of commit processing (Section 2.2 stage III).
+    """
+
+    TAG = 2
+    ttime: int = 0
+    sn: int = 0
+    ptt: bool = False
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        return (
+            self.ttime.to_bytes(8, "big")
+            + self.sn.to_bytes(4, "big")
+            + (b"\x01" if self.ptt else b"\x00")
+        )
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "CommitTxn":
+        """Decode this record type's body fields from a log image."""
+        ttime = body.u(8)
+        sn = body.u(4)
+        ptt = bool(body.u(1))
+        return cls(tid=tid, prev_lsn=prev_lsn, ttime=ttime, sn=sn, ptt=ptt)
+
+
+@dataclass
+class AbortTxn(LogRecord):
+    """Marks the start of rollback for a transaction."""
+
+    TAG = 3
+
+
+@dataclass
+class AbortEnd(LogRecord):
+    """Rollback finished; the transaction is fully undone."""
+
+    TAG = 4
+
+
+@dataclass
+class VersionOp(LogRecord):
+    """A versioned update: a new record version added to a data page."""
+
+    TAG = 5
+    kind: VersionOpKind = VersionOpKind.INSERT
+    table_id: int = 0
+    page_id: int = 0
+    key: bytes = b""
+    payload: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        chunks: list[bytes] = [
+            int(self.kind).to_bytes(1, "big"),
+            self.table_id.to_bytes(4, "big"),
+            self.page_id.to_bytes(4, "big"),
+        ]
+        _put_bytes(chunks, self.key, 2)
+        _put_bytes(chunks, self.payload, 4)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "VersionOp":
+        """Decode this record type's body fields from a log image."""
+        kind = VersionOpKind(body.u(1))
+        table_id = body.u(4)
+        page_id = body.u(4)
+        key = body.blob(2)
+        payload = body.blob(4)
+        return cls(
+            tid=tid, prev_lsn=prev_lsn, kind=kind,
+            table_id=table_id, page_id=page_id, key=key, payload=payload,
+        )
+
+
+@dataclass
+class MultiPageImage(LogRecord):
+    """Redo-only, atomic after-images for a structure modification."""
+
+    TAG = 6
+    REDO_ONLY = True
+    reason: SMOReason = SMOReason.OTHER
+    images: list[tuple[int, bytes]] = field(default_factory=list)
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        chunks: list[bytes] = [
+            int(self.reason).to_bytes(1, "big"),
+            len(self.images).to_bytes(2, "big"),
+        ]
+        for page_id, image in self.images:
+            chunks.append(page_id.to_bytes(4, "big"))
+            _put_bytes(chunks, image, 4)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "MultiPageImage":
+        """Decode this record type's body fields from a log image."""
+        reason = SMOReason(body.u(1))
+        count = body.u(2)
+        images = []
+        for _ in range(count):
+            page_id = body.u(4)
+            images.append((page_id, body.blob(4)))
+        return cls(tid=tid, prev_lsn=prev_lsn, reason=reason, images=images)
+
+
+@dataclass
+class CompensationRecord(LogRecord):
+    """CLR: records one undone action as redo-only page after-images."""
+
+    TAG = 7
+    REDO_ONLY = True
+    undo_next_lsn: int = 0
+    images: list[tuple[int, bytes]] = field(default_factory=list)
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        chunks: list[bytes] = [
+            self.undo_next_lsn.to_bytes(8, "big"),
+            len(self.images).to_bytes(2, "big"),
+        ]
+        for page_id, image in self.images:
+            chunks.append(page_id.to_bytes(4, "big"))
+            _put_bytes(chunks, image, 4)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "CompensationRecord":
+        """Decode this record type's body fields from a log image."""
+        undo_next_lsn = body.u(8)
+        count = body.u(2)
+        images = []
+        for _ in range(count):
+            page_id = body.u(4)
+            images.append((page_id, body.blob(4)))
+        return cls(
+            tid=tid, prev_lsn=prev_lsn,
+            undo_next_lsn=undo_next_lsn, images=images,
+        )
+
+
+@dataclass
+class CheckpointBegin(LogRecord):
+    TAG = 8
+
+
+class TxnPhase(enum.IntEnum):
+    ACTIVE = 0
+    ABORTING = 1
+
+
+@dataclass
+class CheckpointEnd(LogRecord):
+    """Fuzzy checkpoint end: active-transaction table + dirty page table."""
+
+    TAG = 9
+    begin_lsn: int = 0
+    att: dict[int, tuple[int, int]] = field(default_factory=dict)
+    """{tid: (last_lsn, phase)} for transactions active at checkpoint begin."""
+    dpt: dict[int, int] = field(default_factory=dict)
+    """{page_id: recLSN} for pages dirty at checkpoint begin."""
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        chunks: list[bytes] = [
+            self.begin_lsn.to_bytes(8, "big"),
+            len(self.att).to_bytes(4, "big"),
+        ]
+        for tid, (last_lsn, phase) in sorted(self.att.items()):
+            chunks.append(tid.to_bytes(8, "big"))
+            chunks.append(last_lsn.to_bytes(8, "big"))
+            chunks.append(int(phase).to_bytes(1, "big"))
+        chunks.append(len(self.dpt).to_bytes(4, "big"))
+        for page_id, rec_lsn in sorted(self.dpt.items()):
+            chunks.append(page_id.to_bytes(4, "big"))
+            chunks.append(rec_lsn.to_bytes(8, "big"))
+        return b"".join(chunks)
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "CheckpointEnd":
+        """Decode this record type's body fields from a log image."""
+        begin_lsn = body.u(8)
+        att: dict[int, tuple[int, int]] = {}
+        for _ in range(body.u(4)):
+            att_tid = body.u(8)
+            att[att_tid] = (body.u(8), body.u(1))
+        dpt: dict[int, int] = {}
+        for _ in range(body.u(4)):
+            page_id = body.u(4)
+            dpt[page_id] = body.u(8)
+        return cls(
+            tid=tid, prev_lsn=prev_lsn,
+            begin_lsn=begin_lsn, att=att, dpt=dpt,
+        )
+
+
+@dataclass
+class PTTDelete(LogRecord):
+    """Garbage collection removed the PTT entry for ``subject_tid``."""
+
+    TAG = 10
+    REDO_ONLY = True
+    subject_tid: int = 0
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        return self.subject_tid.to_bytes(8, "big")
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "PTTDelete":
+        """Decode this record type's body fields from a log image."""
+        return cls(tid=tid, prev_lsn=prev_lsn, subject_tid=body.u(8))
+
+
+@dataclass
+class StampOp(LogRecord):
+    """Eager timestamping wrote a timestamp into a record before commit.
+
+    Only the eager baseline emits these — they are exactly the "extra log
+    operations" the paper charges against eager timestamping.  Redo stamps
+    the named version again (idempotent: stamping a stamped record is a
+    no-op at redo time).
+    """
+
+    TAG = 11
+    REDO_ONLY = True
+    table_id: int = 0
+    page_id: int = 0
+    key: bytes = b""
+    ttime: int = 0
+    sn: int = 0
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        chunks: list[bytes] = [
+            self.table_id.to_bytes(4, "big"),
+            self.page_id.to_bytes(4, "big"),
+        ]
+        _put_bytes(chunks, self.key, 2)
+        chunks.append(self.ttime.to_bytes(8, "big"))
+        chunks.append(self.sn.to_bytes(4, "big"))
+        return b"".join(chunks)
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "StampOp":
+        """Decode this record type's body fields from a log image."""
+        table_id = body.u(4)
+        page_id = body.u(4)
+        key = body.blob(2)
+        ttime = body.u(8)
+        sn = body.u(4)
+        return cls(
+            tid=tid, prev_lsn=prev_lsn, table_id=table_id,
+            page_id=page_id, key=key, ttime=ttime, sn=sn,
+        )
+
+
+@dataclass
+class InPlaceUpdate(LogRecord):
+    """Conventional (non-versioned) table update: payload replaced in place.
+
+    Carries both images: redo installs ``after``, undo restores ``before``.
+    Immortal tables never use this — their updates are :class:`VersionOp`s.
+    """
+
+    TAG = 12
+    table_id: int = 0
+    page_id: int = 0
+    key: bytes = b""
+    before: bytes = b""
+    after: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        chunks: list[bytes] = [
+            self.table_id.to_bytes(4, "big"),
+            self.page_id.to_bytes(4, "big"),
+        ]
+        _put_bytes(chunks, self.key, 2)
+        _put_bytes(chunks, self.before, 4)
+        _put_bytes(chunks, self.after, 4)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "InPlaceUpdate":
+        """Decode this record type's body fields from a log image."""
+        table_id = body.u(4)
+        page_id = body.u(4)
+        key = body.blob(2)
+        before = body.blob(4)
+        after = body.blob(4)
+        return cls(
+            tid=tid, prev_lsn=prev_lsn, table_id=table_id,
+            page_id=page_id, key=key, before=before, after=after,
+        )
+
+
+_RECORD_TYPES: dict[int, type[LogRecord]] = {
+    cls.TAG: cls
+    for cls in (
+        BeginTxn, CommitTxn, AbortTxn, AbortEnd, VersionOp,
+        MultiPageImage, CompensationRecord, CheckpointBegin,
+        CheckpointEnd, PTTDelete, StampOp, InPlaceUpdate,
+    )
+}

@@ -1,0 +1,85 @@
+"""Generic key/update streams for ablation benches."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def zipf_keys(
+    count: int, universe: int, *, s: float = 1.1, seed: int = 0
+) -> list[int]:
+    """``count`` keys drawn Zipf-like from ``range(universe)``.
+
+    A simple inverse-CDF sampler: key ranks follow ``1 / rank**s``, so a few
+    hot keys dominate — the access pattern that makes version chains long.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** s for rank in range(universe)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    out = []
+    for _ in range(count):
+        u = rng.random()
+        lo, hi = 0, universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append(lo)
+    return out
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    kind: str      # "insert" | "update"
+    key: int
+    value: str
+
+
+class UpdateStream:
+    """A stream of inserts followed by updates over a fixed key set.
+
+    ``distribution`` is "uniform" (round-robin; every key updated equally
+    often — the Fig-6 setup) or "zipf" (hot keys; the chain-length ablation).
+    """
+
+    def __init__(
+        self,
+        *,
+        keys: int,
+        updates: int,
+        value_bytes: int = 32,
+        distribution: str = "uniform",
+        seed: int = 1,
+    ) -> None:
+        if distribution not in ("uniform", "zipf"):
+            raise ValueError("distribution must be 'uniform' or 'zipf'")
+        self.keys = keys
+        self.updates = updates
+        self.value_bytes = value_bytes
+        self.distribution = distribution
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[UpdateOp]:
+        pad = "x" * self.value_bytes
+        for key in range(self.keys):
+            yield UpdateOp("insert", key, f"init-{pad}")
+        if self.distribution == "uniform":
+            for i in range(self.updates):
+                yield UpdateOp("update", i % self.keys, f"u{i}-{pad}")
+        else:
+            for i, key in enumerate(
+                zipf_keys(self.updates, self.keys, seed=self.seed)
+            ):
+                yield UpdateOp("update", key, f"u{i}-{pad}")
+
+    def __len__(self) -> int:
+        return self.keys + self.updates

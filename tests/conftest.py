@@ -1,0 +1,53 @@
+"""Shared fixtures for the Immortal DB test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB
+
+
+@pytest.fixture
+def db() -> ImmortalDB:
+    """A fresh in-memory database with a small buffer pool."""
+    return ImmortalDB(buffer_pages=64)
+
+
+@pytest.fixture
+def objects_table(db: ImmortalDB):
+    """The paper's MovingObjects table (Section 4.1), immortal."""
+    return db.create_table(
+        "MovingObjects",
+        columns=[
+            ("Oid", ColumnType.SMALLINT),
+            ("LocationX", ColumnType.INT),
+            ("LocationY", ColumnType.INT),
+        ],
+        key="Oid",
+        immortal=True,
+    )
+
+
+@pytest.fixture
+def plain_table(db: ImmortalDB):
+    """A conventional (non-immortal, non-snapshot) table."""
+    return db.create_table(
+        "Plain",
+        columns=[("k", ColumnType.INT), ("v", ColumnType.TEXT)],
+        key="k",
+    )
+
+
+def insert_row(db: ImmortalDB, table, row: dict) -> None:
+    with db.transaction() as txn:
+        table.insert(txn, row)
+
+
+def update_row(db: ImmortalDB, table, key, updates: dict) -> None:
+    with db.transaction() as txn:
+        table.update(txn, key, updates)
+
+
+def delete_row(db: ImmortalDB, table, key) -> None:
+    with db.transaction() as txn:
+        table.delete(txn, key)

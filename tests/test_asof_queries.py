@@ -1,0 +1,209 @@
+"""Tests for AS OF queries, time travel, and the TSB-indexed path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB, Timestamp, TxnMode
+
+
+COLS = [("k", ColumnType.INT), ("v", ColumnType.TEXT)]
+
+
+def build_versioned_db(*, use_tsb=False, keys=10, rounds=30, gap_ms=500):
+    """A table where every key has `rounds` versions at known times."""
+    db = ImmortalDB(buffer_pages=128, use_tsb_index=use_tsb)
+    table = db.create_table("t", COLS, key="k", immortal=True)
+    marks = []
+    with db.transaction() as txn:
+        for k in range(keys):
+            table.insert(txn, {"k": k, "v": "r-1"})
+    for r in range(rounds):
+        db.advance_time(gap_ms)
+        marks.append(db.now())
+        with db.transaction() as txn:
+            for k in range(keys):
+                table.update(txn, k, {"v": f"r{r}-" + "x" * 60})
+    return db, table, marks
+
+
+class TestPointAsOf:
+    def test_every_round_retrievable(self):
+        db, table, marks = build_versioned_db()
+        # marks[r] is taken *before* round r's updates commit.
+        for r in (0, 10, 29):
+            row = table.read_as_of(marks[r], 3)
+            expected = "r-1" if r == 0 else f"r{r - 1}-" + "x" * 60
+            assert row["v"] == expected, r
+
+    def test_before_table_had_data(self):
+        db, table, marks = build_versioned_db()
+        assert table.read_as_of(Timestamp(1, 0), 3) is None
+
+    def test_after_latest_sees_current(self):
+        db, table, marks = build_versioned_db()
+        db.advance_time(10_000)
+        row = table.read_as_of(db.now(), 3)
+        assert row["v"].startswith("r29-")
+
+    def test_asof_of_deleted_record_is_none(self):
+        db = ImmortalDB()
+        table = db.create_table("t", COLS, key="k", immortal=True)
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "alive"})
+        alive_at = db.now()
+        db.advance_time(1000)
+        with db.transaction() as txn:
+            table.delete(txn, 1)
+        db.advance_time(1000)
+        dead_at = db.now()
+        assert table.read_as_of(alive_at, 1)["v"] == "alive"
+        assert table.read_as_of(dead_at, 1) is None
+
+    def test_chain_hops_grow_with_depth(self):
+        """Fig 6's driver: older as-of times walk longer page chains."""
+        db, table, marks = build_versioned_db(keys=4, rounds=120, gap_ms=500)
+        assert table.btree.stats.time_splits >= 3
+        db.asof_stats.chain_hops = 0
+        table.read_as_of(marks[-1], 0)
+        recent_hops = db.asof_stats.chain_hops
+        db.asof_stats.chain_hops = 0
+        table.read_as_of(marks[1], 0)
+        old_hops = db.asof_stats.chain_hops
+        assert old_hops > recent_hops
+
+
+class TestScanAsOf:
+    def test_full_scan_reconstructs_each_round(self):
+        db, table, marks = build_versioned_db(keys=8, rounds=20)
+        for r in (1, 10, 19):
+            rows = table.scan_as_of(marks[r])
+            assert len(rows) == 8
+            assert all(row["v"] == f"r{r - 1}-" + "x" * 60 for row in rows)
+
+    def test_scan_asof_sees_deleted_records_in_their_era(self):
+        db = ImmortalDB()
+        table = db.create_table("t", COLS, key="k", immortal=True)
+        with db.transaction() as txn:
+            for k in range(6):
+                table.insert(txn, {"k": k, "v": "era1"})
+        era1 = db.now()
+        db.advance_time(1000)
+        with db.transaction() as txn:
+            for k in range(0, 6, 2):
+                table.delete(txn, k)
+        era2 = db.now()
+        assert len(table.scan_as_of(era1)) == 6
+        assert len(table.scan_as_of(era2)) == 3
+
+    def test_scan_asof_with_key_splits_does_not_duplicate(self):
+        """Sibling leaves share history pages; bounds must dedupe them."""
+        db = ImmortalDB(buffer_pages=256)
+        table = db.create_table("t", COLS, key="k", immortal=True)
+        with db.transaction() as txn:
+            for k in range(200):
+                table.insert(txn, {"k": k, "v": "base" + "x" * 40})
+        base = db.now()
+        for r in range(10):
+            db.advance_time(500)
+            with db.transaction() as txn:
+                for k in range(200):
+                    table.update(txn, k, {"v": f"r{r}" + "y" * 40})
+        assert table.btree.stats.key_splits >= 1
+        rows = table.scan_as_of(base)
+        assert len(rows) == 200
+        assert len({row["k"] for row in rows}) == 200
+
+
+class TestHistory:
+    def test_history_returns_all_versions_in_order(self):
+        db, table, marks = build_versioned_db(keys=2, rounds=15)
+        history = table.history(1)
+        assert len(history) == 16  # insert + 15 updates
+        times = [ts for ts, _ in history]
+        assert times == sorted(times)
+        assert history[0][1]["v"] == "r-1"
+        assert history[-1][1]["v"].startswith("r14-")
+
+    def test_history_spans_time_split_pages_without_duplicates(self):
+        db, table, marks = build_versioned_db(keys=2, rounds=150, gap_ms=500)
+        assert table.btree.stats.time_splits >= 2
+        history = table.history(1)
+        assert len(history) == 151
+        assert len({ts for ts, _ in history}) == 151
+
+    def test_history_records_deletes_as_none(self):
+        db = ImmortalDB()
+        table = db.create_table("t", COLS, key="k", immortal=True)
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "a"})
+        db.advance_time(100)
+        with db.transaction() as txn:
+            table.delete(txn, 1)
+        history = table.history(1)
+        assert history[0][1]["v"] == "a"
+        assert history[1][1] is None
+
+    def test_history_time_bounds(self):
+        db, table, marks = build_versioned_db(keys=1, rounds=10)
+        bounded = table.history(0, t_low=marks[3], t_high=marks[7])
+        assert 0 < len(bounded) < 11
+        for ts, _ in bounded:
+            assert marks[3] <= ts <= marks[7]
+
+
+class TestTSBIndexedAsOf:
+    def test_tsb_results_match_chain_results(self):
+        kwargs = dict(keys=6, rounds=100, gap_ms=500)
+        db_chain, table_chain, marks = build_versioned_db(**kwargs)
+        db_tsb, table_tsb, marks_tsb = build_versioned_db(use_tsb=True, **kwargs)
+        assert marks == marks_tsb  # deterministic clocks
+        for r in (1, 25, 50, 99):
+            for k in (0, 5):
+                a = table_chain.read_as_of(marks[r], k)
+                b = table_tsb.read_as_of(marks[r], k)
+                assert a == b, (r, k)
+
+    def test_tsb_lookup_avoids_chain_walk(self):
+        db, table, marks = build_versioned_db(
+            use_tsb=True, keys=4, rounds=150, gap_ms=500
+        )
+        db.asof_stats.chain_hops = 0
+        db.asof_stats.tsb_lookups = 0
+        table.read_as_of(marks[1], 0)   # deep history
+        assert db.asof_stats.tsb_lookups == 1
+        assert db.asof_stats.chain_hops == 0
+
+    def test_tsb_index_populated_by_time_splits(self):
+        db, table, marks = build_versioned_db(
+            use_tsb=True, keys=4, rounds=150, gap_ms=500
+        )
+        assert table.history_index is not None
+        assert (
+            table.history_index.leaf_entry_count()
+            == table.btree.stats.time_splits
+        )
+
+    def test_tsb_survives_crash(self):
+        db, table, marks = build_versioned_db(
+            use_tsb=True, keys=4, rounds=100, gap_ms=500
+        )
+        expected = table.read_as_of(marks[10], 2)
+        db.crash_and_recover()
+        table = db.table("t")
+        assert table.history_index is not None
+        assert table.read_as_of(marks[10], 2) == expected
+
+
+class TestTimestampConversion:
+    def test_begin_as_of_accepts_strings(self):
+        db = ImmortalDB()
+        table = db.create_table("t", COLS, key="k", immortal=True)
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "x"})
+        wall = db.clock.now_datetime()
+        db.advance_time(60_000)
+        with db.transaction() as txn:
+            table.update(txn, 1, {"v": "y"})
+        with db.transaction(as_of=wall.isoformat()) as txn:
+            assert table.read(txn, 1)["v"] == "x"

@@ -1,0 +1,239 @@
+"""Tests for the B-tree primary index: descent, splits, leaf chains."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.access.btree import BTree, BTreeIndexPage
+from repro.clock import SimClock
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.storage.page import DataPage, decode_page
+from repro.storage.record import RecordVersion
+from repro.wal.log import LogManager
+
+
+class Env:
+    def __init__(self, *, immortal=True, capacity=256):
+        self.disk = InMemoryDisk()
+        self.buffer = BufferPool(self.disk, capacity=capacity)
+        self.log = LogManager()
+        self.clock = SimClock(ms_per_timestamp=5.0)
+        self.btree = BTree(
+            self.buffer, self.log, self.clock, table_id=1, immortal=immortal
+        )
+        self._stamp_all = True
+        self.btree.stamp_page = self._stamp
+
+    def _stamp(self, page: DataPage) -> int:
+        # Standalone stand-in for the timestamp manager: committed == all.
+        count = 0
+        for version in page.unstamped_versions():
+            version.stamp(self.clock.next_timestamp())
+            count += 1
+        return count
+
+    def insert(self, key: bytes, payload: bytes = b"v") -> None:
+        record = RecordVersion.new(key, payload, tid=1)
+        record.stamp(self.clock.next_timestamp())
+        leaf = self.btree.leaf_for_insert(record)
+        lsn = self.log.append(
+            __import__("repro.wal.records", fromlist=["VersionOp"]).VersionOp(
+                tid=1, table_id=1, page_id=leaf.page_id,
+                key=key, payload=payload,
+            )
+        )
+        self.btree.apply_insert(leaf, record, lsn)
+
+
+@pytest.fixture
+def env():
+    return Env()
+
+
+def k(i: int) -> bytes:
+    return f"k{i:06}".encode()
+
+
+class TestBasics:
+    def test_single_leaf_root(self, env):
+        env.insert(b"a")
+        leaf = env.btree.search_leaf(b"a")
+        assert leaf.head(b"a") is not None
+        assert leaf.page_id == env.btree.root_pid
+
+    def test_search_routes_to_correct_leaf(self, env):
+        for i in range(600):
+            env.insert(k(i), b"x" * 60)
+        for i in (0, 123, 599):
+            leaf = env.btree.search_leaf(k(i))
+            assert leaf.head(k(i)) is not None, i
+
+    def test_root_pid_is_stable_across_growth(self, env):
+        root = env.btree.root_pid
+        for i in range(3000):
+            env.insert(k(i), b"x" * 40)
+        assert env.btree.root_pid == root
+        assert isinstance(env.buffer.get_page(root), BTreeIndexPage)
+
+    def test_leaves_iterate_in_key_order(self, env):
+        for i in range(800):
+            env.insert(k(i), b"x" * 50)
+        seen: list[bytes] = []
+        for leaf in env.btree.leaves():
+            seen.extend(leaf.keys())
+        assert seen == sorted(seen)
+        assert len(seen) == 800
+
+    def test_leaves_with_bounds_tile_the_key_space(self, env):
+        for i in range(800):
+            env.insert(k(i), b"x" * 50)
+        bounds = list(env.btree.leaves_with_bounds())
+        assert bounds[0][1] == b""            # first low bound is -inf
+        assert bounds[-1][2] is None          # last high bound is +inf
+        for (_, _, high), (_, low, _) in zip(bounds, bounds[1:]):
+            assert high == low                # adjacent bounds meet exactly
+        for leaf, low, high in bounds:
+            for key in leaf.keys():
+                assert key >= low
+                assert high is None or key < high
+
+    def test_oversized_key_rejected(self, env):
+        from repro.errors import AccessMethodError
+
+        rec = RecordVersion.new(b"x" * 200, b"v", tid=1)
+        with pytest.raises(AccessMethodError):
+            env.btree.leaf_for_insert(rec)
+
+
+class TestImmortalSplitting:
+    def test_repeated_updates_cause_time_splits(self, env):
+        for round_no in range(300):
+            env.insert(b"hot", f"value-{round_no}".encode() + b"x" * 60)
+        assert env.btree.stats.time_splits >= 1
+        leaf = env.btree.search_leaf(b"hot")
+        assert leaf.history_page_id != 0
+        history = env.buffer.get_page(leaf.history_page_id)
+        assert isinstance(history, DataPage) and history.is_history
+
+    def test_distinct_keys_cause_key_splits(self, env):
+        for i in range(600):
+            env.insert(k(i), b"x" * 60)
+        assert env.btree.stats.key_splits >= 1
+
+    def test_mixed_workload_splits_both_ways(self, env):
+        for i in range(150):
+            env.insert(k(i), b"x" * 40)
+        for round_no in range(40):
+            for i in range(150):
+                env.insert(k(i), f"r{round_no}".encode() + b"y" * 40)
+        assert env.btree.stats.time_splits >= 1
+        assert env.btree.stats.key_splits >= 1
+
+    def test_history_chain_lengthens_over_time(self, env):
+        for round_no in range(1200):
+            env.insert(b"hot", b"z" * 100)
+        leaf = env.btree.search_leaf(b"hot")
+        chain_length = 0
+        pid = leaf.history_page_id
+        while pid:
+            chain_length += 1
+            pid = env.buffer.get_page(pid).history_page_id
+        assert chain_length >= 2
+
+    def test_smo_logging_installs_images(self, env):
+        from repro.wal.records import MultiPageImage
+
+        for i in range(600):
+            env.insert(k(i), b"x" * 60)
+        smos = [
+            r for r in env.log.records_from(0) if isinstance(r, MultiPageImage)
+        ]
+        assert smos
+        # Every image decodes and carries the SMO's LSN.
+        for smo in smos[-3:]:
+            for pid, image in smo.images:
+                page = decode_page(image)
+                assert page.page_id == pid
+                assert page.lsn == smo.lsn
+
+
+class TestConventionalSplitting:
+    def test_prune_hook_is_preferred_over_key_split(self):
+        env = Env(immortal=False)
+        pruned_pages = []
+
+        def prune(leaf):
+            from repro.concurrency.snapshot import prune_conventional_page
+
+            env._stamp(leaf)
+            rebuilt, dropped = prune_conventional_page(
+                leaf, None, lambda tid: (None, False)
+            )
+            pruned_pages.append(dropped)
+            return rebuilt, dropped
+
+        env.btree.prune_page = prune
+        for round_no in range(400):
+            env.insert(b"hot", b"x" * 80)
+        assert env.btree.stats.prunes >= 1
+        assert env.btree.stats.time_splits == 0
+        assert sum(pruned_pages) > 0
+
+    def test_plain_key_split_without_prune(self):
+        env = Env(immortal=False)
+        for i in range(600):
+            env.insert(k(i), b"x" * 60)
+        assert env.btree.stats.key_splits >= 1
+        assert env.btree.stats.time_splits == 0
+
+
+class TestIndexNodeCodec:
+    def test_roundtrip(self):
+        node = BTreeIndexPage(5)
+        node.children = [10, 11, 12]
+        node.seps = [b"m", b"t"]
+        node.lsn = 88
+        decoded = decode_page(node.to_bytes())
+        assert isinstance(decoded, BTreeIndexPage)
+        assert decoded.children == [10, 11, 12]
+        assert decoded.seps == [b"m", b"t"]
+        assert decoded.lsn == 88
+
+    def test_single_child_roundtrip(self):
+        node = BTreeIndexPage(5)
+        node.children = [10]
+        decoded = decode_page(node.to_bytes())
+        assert decoded.children == [10] and decoded.seps == []
+
+    def test_child_index_for(self):
+        node = BTreeIndexPage(5)
+        node.children = [10, 11, 12]
+        node.seps = [b"m", b"t"]
+        assert node.child_index_for(b"a") == 0
+        assert node.child_index_for(b"m") == 1
+        assert node.child_index_for(b"z") == 2
+
+
+class TestPropertyBased:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 5000), min_size=1, max_size=400),
+    )
+    def test_all_inserted_keys_findable(self, keys):
+        env = Env()
+        expected: dict[bytes, bytes] = {}
+        for i, key_num in enumerate(keys):
+            key = k(key_num)
+            payload = f"p{i}".encode() + b"#" * 30
+            env.insert(key, payload)
+            expected[key] = payload
+        for key, payload in expected.items():
+            leaf = env.btree.search_leaf(key)
+            head = leaf.head(key)
+            assert head is not None
+            assert head.payload == payload
+        # Leaf chain covers exactly the distinct keys.
+        all_keys = [key for leaf in env.btree.leaves() for key in leaf.keys()]
+        assert sorted(all_keys) == sorted(expected)

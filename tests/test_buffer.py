@@ -1,0 +1,204 @@
+"""Tests for the buffer pool: caching, dirty tracking, hooks, latching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BufferPoolError, LatchError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.storage.page import DataPage
+from repro.storage.record import RecordVersion
+
+
+@pytest.fixture
+def disk():
+    return InMemoryDisk()
+
+
+@pytest.fixture
+def pool(disk):
+    return BufferPool(disk, capacity=4)
+
+
+def new_data_page(pool: BufferPool) -> DataPage:
+    return pool.new_page(lambda pid: DataPage(pid))
+
+
+class TestCaching:
+    def test_new_page_is_cached_and_dirty(self, pool):
+        page = new_data_page(pool)
+        assert pool.contains(page.page_id)
+        assert pool.is_dirty(page.page_id)
+
+    def test_get_page_hits_cache(self, pool):
+        page = new_data_page(pool)
+        again = pool.get_page(page.page_id)
+        assert again is page
+        assert pool.stats.hits == 1
+
+    def test_miss_reads_from_disk(self, pool, disk):
+        page = new_data_page(pool)
+        pid = page.page_id
+        pool.flush_all()
+        pool.discard_all()
+        fetched = pool.get_page(pid)
+        assert fetched.page_id == pid
+        assert pool.stats.misses == 1
+
+    def test_eviction_respects_capacity(self, pool):
+        for _ in range(10):
+            new_data_page(pool)
+        assert len(pool) <= 4
+        assert pool.stats.evictions >= 6
+
+    def test_eviction_flushes_dirty_pages(self, pool, disk):
+        pages = [new_data_page(pool) for _ in range(4)]
+        first = pages[0]
+        first.insert_version(RecordVersion.new(b"k", b"v", 1))
+        new_data_page(pool)  # evicts `first`
+        raw = disk.read_page(first.page_id)
+        assert raw == first.to_bytes()
+
+    def test_pinned_pages_survive_eviction(self, pool):
+        page = new_data_page(pool)
+        pool.pin(page.page_id)
+        for _ in range(8):
+            new_data_page(pool)
+        assert pool.contains(page.page_id)
+        pool.unpin(page.page_id)
+
+    def test_all_pinned_pool_exhausted(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        for _ in range(4):
+            page = new_data_page(pool)
+            pool.pin(page.page_id)
+        with pytest.raises(BufferPoolError):
+            new_data_page(pool)
+
+
+class TestDirtyTracking:
+    def test_flush_clears_dirty(self, pool):
+        page = new_data_page(pool)
+        pool.flush_page(page.page_id)
+        assert not pool.is_dirty(page.page_id)
+
+    def test_dirty_page_table_reports_rec_lsns(self, pool):
+        page = new_data_page(pool)
+        pool.flush_page(page.page_id)
+        page.lsn = 500
+        pool.mark_dirty(page.page_id, 123)
+        assert pool.dirty_page_table() == {page.page_id: 123}
+
+    def test_rec_lsn_sticks_to_first_dirtying(self, pool):
+        page = new_data_page(pool)
+        pool.flush_page(page.page_id)
+        pool.mark_dirty(page.page_id, 100)
+        pool.mark_dirty(page.page_id, 200)
+        assert pool.dirty_page_table()[page.page_id] == 100
+
+    def test_flush_all(self, pool):
+        for _ in range(3):
+            new_data_page(pool)
+        pool.flush_all()
+        assert pool.dirty_page_table() == {}
+
+
+class TestHooks:
+    def test_pre_flush_hook_runs_before_serialization(self, pool, disk):
+        page = new_data_page(pool)
+        page.insert_version(RecordVersion.new(b"k", b"v", 5))
+
+        def hook(p):
+            if isinstance(p, DataPage) and p.head(b"k") is not None:
+                from repro.clock import Timestamp
+
+                head = p.head(b"k")
+                if not head.is_timestamped:
+                    head.stamp(Timestamp(777, 0))
+
+        pool.pre_flush_hooks.append(hook)
+        pool.flush_page(page.page_id)
+        from repro.storage.page import decode_page
+
+        decoded = decode_page(disk.read_page(page.page_id))
+        assert decoded.head(b"k").is_timestamped
+
+    def test_wal_rule_forces_log_before_write(self, pool):
+        forced = []
+        pool.log_force = forced.append
+        page = new_data_page(pool)
+        page.lsn = 42
+        pool.flush_page(page.page_id)
+        assert forced == [42]
+
+
+class TestLatching:
+    def test_shared_latches_stack(self, pool):
+        page = new_data_page(pool)
+        pool.latch_shared(page.page_id)
+        pool.latch_shared(page.page_id)
+        pool.unlatch(page.page_id)
+        pool.unlatch(page.page_id)
+
+    def test_exclusive_conflicts_with_shared(self, pool):
+        page = new_data_page(pool)
+        pool.latch_shared(page.page_id)
+        with pytest.raises(LatchError):
+            pool.latch_exclusive(page.page_id)
+        pool.unlatch(page.page_id)
+
+    def test_shared_conflicts_with_exclusive(self, pool):
+        page = new_data_page(pool)
+        pool.latch_exclusive(page.page_id)
+        with pytest.raises(LatchError):
+            pool.latch_shared(page.page_id)
+        pool.unlatch(page.page_id)
+
+    def test_unlatch_without_latch_fails(self, pool):
+        page = new_data_page(pool)
+        with pytest.raises(LatchError):
+            pool.unlatch(page.page_id)
+
+    def test_latched_pages_not_evicted(self, pool):
+        page = new_data_page(pool)
+        pool.latch_exclusive(page.page_id)
+        for _ in range(8):
+            new_data_page(pool)
+        assert pool.contains(page.page_id)
+        pool.unlatch(page.page_id)
+
+
+class TestReplacePage:
+    def test_replace_swaps_object(self, pool):
+        page = new_data_page(pool)
+        rebuilt = DataPage(page.page_id)
+        rebuilt.insert_version(RecordVersion.new(b"z", b"1", 1))
+        pool.replace_page(rebuilt)
+        assert pool.get_page(page.page_id) is rebuilt
+        assert pool.is_dirty(page.page_id)
+
+    def test_replace_unknown_page_fails(self, pool):
+        with pytest.raises(BufferPoolError):
+            pool.replace_page(DataPage(424242))
+
+    def test_replace_uncached_but_existing_page(self, pool, disk):
+        page = new_data_page(pool)
+        pid = page.page_id
+        pool.flush_all()
+        pool.discard_all()
+        rebuilt = DataPage(pid)
+        pool.replace_page(rebuilt)
+        assert pool.get_page(pid) is rebuilt
+
+
+class TestCrashSimulation:
+    def test_discard_loses_unflushed_changes(self, pool, disk):
+        page = new_data_page(pool)
+        pid = page.page_id
+        pool.flush_page(pid)
+        page.insert_version(RecordVersion.new(b"k", b"v", 1))
+        pool.mark_dirty(pid)
+        pool.discard_all()
+        fetched = pool.get_page(pid)
+        assert fetched.head(b"k") is None

@@ -1,0 +1,171 @@
+"""Tests for timestamps and the simulated clock (paper Section 2.1)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock import (
+    EPOCH,
+    SN_INVALID,
+    TICK_MS,
+    TID_FLAG,
+    SimClock,
+    Timestamp,
+    encode_tid_field,
+    field_is_tid,
+    field_tid,
+)
+
+
+class TestTimestamp:
+    def test_ordering_is_lexicographic(self):
+        assert Timestamp(1, 5) < Timestamp(2, 0)
+        assert Timestamp(1, 5) < Timestamp(1, 6)
+        assert Timestamp(3, 0) > Timestamp(2, 0xFFFFFFFF - 1)
+
+    def test_min_and_max_bracket_everything(self):
+        ts = Timestamp(12345, 678)
+        assert Timestamp.MIN < ts < Timestamp.MAX
+
+    def test_codec_roundtrip(self):
+        ts = Timestamp(0x1122334455, 0x66778899)
+        assert Timestamp.from_bytes(ts.to_bytes()) == ts
+
+    def test_codec_size_is_twelve_bytes(self):
+        # 8-byte Ttime + 4-byte SN, the exact Figure 1b layout.
+        assert len(Timestamp(1, 1).to_bytes()) == Timestamp.SIZE == 12
+
+    def test_rejects_wrong_image_size(self):
+        with pytest.raises(ValueError):
+            Timestamp.from_bytes(b"\x00" * 11)
+
+    def test_rejects_out_of_range_fields(self):
+        with pytest.raises(ValueError):
+            Timestamp(-1, 0)
+        with pytest.raises(ValueError):
+            Timestamp(0, 1 << 32)
+
+    def test_datetime_roundtrip_at_tick_resolution(self):
+        when = EPOCH + dt.timedelta(seconds=90)
+        ts = Timestamp.from_datetime(when)
+        assert ts.to_datetime() == when
+
+    def test_datetime_before_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            Timestamp.from_datetime(EPOCH - dt.timedelta(seconds=1))
+
+    @given(st.integers(0, 2**62), st.integers(0, 2**32 - 1))
+    def test_codec_roundtrip_property(self, ttime, sn):
+        ts = Timestamp(ttime, sn)
+        assert Timestamp.from_bytes(ts.to_bytes()) == ts
+
+    @given(
+        st.tuples(st.integers(0, 2**40), st.integers(0, 2**32 - 1)),
+        st.tuples(st.integers(0, 2**40), st.integers(0, 2**32 - 1)),
+    )
+    def test_bytes_order_matches_value_order(self, a, b):
+        """Encoded timestamps compare like the timestamps themselves."""
+        ta, tb = Timestamp(*a), Timestamp(*b)
+        assert (ta.to_bytes() < tb.to_bytes()) == (ta < tb)
+
+
+class TestTidTagging:
+    def test_tid_field_roundtrip(self):
+        field = encode_tid_field(42)
+        assert field_is_tid(field)
+        assert field_tid(field) == 42
+
+    def test_plain_time_is_not_tid(self):
+        assert not field_is_tid(123456)
+
+    def test_tid_flag_is_high_bit(self):
+        assert encode_tid_field(1) == TID_FLAG | 1
+
+    def test_zero_tid_rejected(self):
+        with pytest.raises(ValueError):
+            encode_tid_field(0)
+
+    def test_extracting_tid_from_time_rejected(self):
+        with pytest.raises(ValueError):
+            field_tid(99)
+
+
+class TestSimClock:
+    def test_timestamps_are_unique_and_increasing(self):
+        clock = SimClock()
+        seen = [clock.next_timestamp() for _ in range(1000)]
+        assert seen == sorted(seen)
+        assert len(set(seen)) == 1000
+
+    def test_sequence_number_extends_the_20ms_tick(self):
+        clock = SimClock()
+        a = clock.next_timestamp()
+        b = clock.next_timestamp()
+        assert a.ttime == b.ttime  # same tick
+        assert b.sn == a.sn + 1    # distinguished by SN (Section 2.1)
+
+    def test_advance_resets_sequence_numbers(self):
+        clock = SimClock()
+        clock.next_timestamp()
+        clock.next_timestamp()
+        clock.advance_ticks(1)
+        assert clock.next_timestamp().sn == 1
+
+    def test_advance_ms_converts_to_ticks(self):
+        clock = SimClock(start_tick=1)
+        clock.advance_ms(TICK_MS * 3)
+        assert clock.tick == 4
+
+    def test_fractional_ms_accumulates(self):
+        clock = SimClock(start_tick=1)
+        for _ in range(TICK_MS * 2):
+            clock.advance_ms(0.5)
+        assert clock.tick == 2
+
+    def test_time_cannot_go_backwards(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance_ms(-1)
+        with pytest.raises(ValueError):
+            clock.advance_ticks(-1)
+
+    def test_now_does_not_consume_sequence_numbers(self):
+        clock = SimClock()
+        now1 = clock.now()
+        now2 = clock.now()
+        assert now1 == now2
+        issued = clock.next_timestamp()
+        assert issued > now1  # future commits are strictly after now()
+
+    def test_issued_timestamps_exceed_earlier_now(self):
+        """now() < every timestamp issued later — snapshot horizons rely on it.
+        And now() >= every timestamp issued before: inclusive horizons work."""
+        clock = SimClock()
+        earlier = clock.next_timestamp()
+        horizon = clock.now()
+        later = [clock.next_timestamp() for _ in range(3)]
+        clock.advance_ticks(1)
+        later.append(clock.next_timestamp())
+        assert earlier <= horizon
+        assert all(ts > horizon for ts in later)
+
+    def test_ms_per_timestamp_advances_time(self):
+        clock = SimClock(ms_per_timestamp=TICK_MS)
+        first = clock.next_timestamp()
+        second = clock.next_timestamp()
+        assert second.ttime == first.ttime + 1
+
+    def test_sn_invalid_is_never_issued(self):
+        clock = SimClock()
+        clock._issued_sn = SN_INVALID - 2
+        a = clock.next_timestamp()
+        b = clock.next_timestamp()
+        assert a.sn == SN_INVALID - 1
+        assert b.ttime == a.ttime + 1 and b.sn == 1
+
+    def test_start_tick_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start_tick=0)

@@ -1,0 +1,94 @@
+"""Unit tests for the eager timestamping baseline (paper Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB
+from repro.wal.records import StampOp
+
+
+COLS = [("k", ColumnType.INT), ("v", ColumnType.TEXT)]
+
+
+@pytest.fixture
+def db():
+    return ImmortalDB(buffer_pages=64, timestamping="eager")
+
+
+@pytest.fixture
+def table(db):
+    return db.create_table("t", COLS, key="k", immortal=True)
+
+
+class TestEagerCommit:
+    def test_versions_stamped_at_commit(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "a"})
+        table.insert(txn, {"k": 2, "v": "b"})
+        key1 = table.codec.encode_key(1)
+        leaf = table.btree.search_leaf(key1)
+        assert not leaf.head(key1).is_timestamped   # not yet
+        ts = db.commit(txn)
+        assert leaf.head(key1).is_timestamped       # stamped by commit
+        assert leaf.head(key1).timestamp == ts
+
+    def test_stamp_ops_logged_per_version(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "a"})
+        table.update(txn, 1, {"v": "b"})
+        table.insert(txn, {"k": 2, "v": "c"})
+        db.commit(txn)
+        stamps = [r for r in db.log.records_from(0) if isinstance(r, StampOp)]
+        assert len(stamps) == 3
+        assert all(s.tid == txn.tid for s in stamps)
+
+    def test_no_ptt_entries_ever(self, db, table):
+        for i in range(5):
+            with db.transaction() as txn:
+                table.insert(txn, {"k": i, "v": "x"})
+        assert len(db.ptt) == 0
+        assert db.tsmgr.stats.ptt_inserts == 0
+
+    def test_commit_revisit_counted_per_page(self, db, table):
+        txn = db.begin()
+        for i in range(4):
+            table.insert(txn, {"k": i, "v": "x"})
+        before = db.tsmgr.stats.commit_revisit_pages
+        db.commit(txn)
+        assert db.tsmgr.stats.commit_revisit_pages == before + 1  # one leaf
+
+    def test_abort_discards_pending_stamp_work(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "doomed"})
+        db.abort(txn)
+        assert db.tsmgr.stats.stamps == 0
+        with db.transaction() as reader:
+            assert table.read(reader, 1) is None
+
+    def test_garbage_collect_is_a_noop(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "a"})
+        assert db.tsmgr.garbage_collect(10**9) == 0
+
+    def test_versions_stamped_after_key_split(self, db, table):
+        """The commit revisit relocates records moved by a split mid-txn."""
+        txn = db.begin()
+        for i in range(400):
+            table.insert(txn, {"k": i, "v": "x" * 60})
+        assert table.btree.stats.key_splits >= 1
+        db.commit(txn)
+        for leaf in table.btree.leaves():
+            assert not leaf.has_unstamped_records()
+
+
+class TestEagerTemporalQueries:
+    def test_asof_works_identically(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "old"})
+        mark = db.now()
+        db.advance_time(1000)
+        with db.transaction() as txn:
+            table.update(txn, 1, {"v": "new"})
+        assert table.read_as_of(mark, 1)["v"] == "old"
+        assert len(table.history(1)) == 2

@@ -1,0 +1,103 @@
+"""Tests for the lock manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrency.locks import (
+    LockManager,
+    LockMode,
+    record_resource,
+    table_resource,
+)
+from repro.errors import LockConflictError
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self, locks):
+        locks.lock_record_shared(1, 1, b"k")
+        locks.lock_record_shared(2, 1, b"k")
+        assert locks.locks_held(1) == 2  # IS on table + S on record
+
+    def test_exclusive_conflicts_with_shared(self, locks):
+        locks.lock_record_shared(1, 1, b"k")
+        with pytest.raises(LockConflictError) as err:
+            locks.lock_record_exclusive(2, 1, b"k")
+        assert err.value.holder_tid == 1
+
+    def test_shared_conflicts_with_exclusive(self, locks):
+        locks.lock_record_exclusive(1, 1, b"k")
+        with pytest.raises(LockConflictError):
+            locks.lock_record_shared(2, 1, b"k")
+
+    def test_different_records_do_not_conflict(self, locks):
+        locks.lock_record_exclusive(1, 1, b"k1")
+        locks.lock_record_exclusive(2, 1, b"k2")
+
+    def test_different_tables_do_not_conflict(self, locks):
+        locks.lock_record_exclusive(1, 1, b"k")
+        locks.lock_record_exclusive(2, 2, b"k")
+
+    def test_intents_coexist_on_table(self, locks):
+        locks.lock_record_exclusive(1, 1, b"k1")
+        locks.lock_record_exclusive(2, 1, b"k2")
+        assert locks.mode_held(1, table_resource(1)) == LockMode.IX
+        assert locks.mode_held(2, table_resource(1)) == LockMode.IX
+
+    def test_table_s_conflicts_with_ix(self, locks):
+        """A full-table scan lock blocks concurrent writers."""
+        locks.lock_record_exclusive(1, 1, b"k")
+        with pytest.raises(LockConflictError):
+            locks.lock_table_shared(2, 1)
+
+    def test_table_s_coexists_with_is(self, locks):
+        locks.lock_record_shared(1, 1, b"k")
+        locks.lock_table_shared(2, 1)
+
+
+class TestReentrancy:
+    def test_reacquire_same_mode_is_noop(self, locks):
+        locks.lock_record_exclusive(1, 1, b"k")
+        held = locks.locks_held(1)
+        locks.lock_record_exclusive(1, 1, b"k")
+        assert locks.locks_held(1) == held
+
+    def test_upgrade_s_to_x_when_sole_holder(self, locks):
+        locks.lock_record_shared(1, 1, b"k")
+        locks.lock_record_exclusive(1, 1, b"k")
+        assert locks.mode_held(1, record_resource(1, b"k")) == LockMode.X
+        assert locks.upgrades >= 1
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        locks.lock_record_shared(1, 1, b"k")
+        locks.lock_record_shared(2, 1, b"k")
+        with pytest.raises(LockConflictError):
+            locks.lock_record_exclusive(1, 1, b"k")
+
+    def test_x_not_downgraded_by_s_request(self, locks):
+        locks.lock_record_exclusive(1, 1, b"k")
+        locks.lock_record_shared(1, 1, b"k")
+        assert locks.mode_held(1, record_resource(1, b"k")) == LockMode.X
+
+
+class TestRelease:
+    def test_release_all_frees_resources(self, locks):
+        locks.lock_record_exclusive(1, 1, b"k")
+        released = locks.release_all(1)
+        assert released == 2
+        locks.lock_record_exclusive(2, 1, b"k")  # now free
+
+    def test_release_unknown_tid_is_harmless(self, locks):
+        assert locks.release_all(42) == 0
+
+    def test_total_locks(self, locks):
+        locks.lock_record_shared(1, 1, b"a")
+        locks.lock_record_shared(2, 1, b"b")
+        assert locks.total_locks() == 4  # 2 IS + 2 S
+        locks.release_all(1)
+        assert locks.total_locks() == 2

@@ -1,0 +1,233 @@
+"""Tests for slotted data pages and version chains (paper Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import Timestamp
+from repro.errors import PageFullError
+from repro.storage.constants import DATA_HEADER_SIZE, PAGE_SIZE, SLOT_SIZE
+from repro.storage.page import DataPage, MetaPage, decode_page
+from repro.storage.record import RecordVersion
+
+
+def rec(key: bytes, payload: bytes = b"v", tid: int = 1) -> RecordVersion:
+    return RecordVersion.new(key, payload, tid)
+
+
+class TestSlotArray:
+    def test_insert_keeps_slots_sorted_by_key(self):
+        page = DataPage(1)
+        for key in (b"m", b"a", b"z", b"c"):
+            page.insert_version(rec(key))
+        assert page.keys() == [b"a", b"c", b"m", b"z"]
+
+    def test_head_finds_record(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"a", b"one"))
+        assert page.head(b"a").payload == b"one"
+        assert page.head(b"missing") is None
+
+    def test_min_max_key(self):
+        page = DataPage(1)
+        assert page.min_key is None
+        page.insert_version(rec(b"b"))
+        page.insert_version(rec(b"a"))
+        assert (page.min_key, page.max_key) == (b"a", b"b")
+
+
+class TestVersionChains:
+    def test_update_chains_to_previous_version(self):
+        """Figure 2: the slot points at the newest version; VP links back."""
+        page = DataPage(1)
+        page.insert_version(rec(b"A", b"v0", tid=1))
+        page.insert_version(rec(b"B", b"b0", tid=1))
+        page.insert_version(rec(b"A", b"v1", tid=2))
+        chain = list(page.chain(b"A"))
+        assert [v.payload for v in chain] == [b"v1", b"v0"]
+        # B's chain is untouched.
+        assert [v.payload for v in page.chain(b"B")] == [b"b0"]
+
+    def test_slot_array_sees_only_newest(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"A", b"v0"))
+        page.insert_version(rec(b"A", b"v1"))
+        page.insert_version(rec(b"A", b"v2"))
+        assert page.head(b"A").payload == b"v2"
+        assert len(page.slots) == 1
+
+    def test_three_transaction_scenario_from_figure_2(self):
+        page = DataPage(1)
+        # Transaction I: insert A, insert B
+        page.insert_version(rec(b"A", b"a0", tid=1))
+        page.insert_version(rec(b"B", b"b0", tid=1))
+        # Transaction II: update A
+        page.insert_version(rec(b"A", b"a1", tid=2))
+        # Transaction III: update A, update B
+        page.insert_version(rec(b"A", b"a2", tid=3))
+        page.insert_version(rec(b"B", b"b1", tid=3))
+        assert [v.payload for v in page.chain(b"A")] == [b"a2", b"a1", b"a0"]
+        assert [v.payload for v in page.chain(b"B")] == [b"b1", b"b0"]
+
+    def test_remove_newest_version_restores_previous(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"A", b"v0"))
+        page.insert_version(rec(b"A", b"v1"))
+        removed = page.remove_newest_version(b"A")
+        assert removed.payload == b"v1"
+        assert page.head(b"A").payload == b"v0"
+
+    def test_remove_only_version_removes_slot(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"A"))
+        page.remove_newest_version(b"A")
+        assert page.head(b"A") is None
+        assert page.keys() == []
+
+    def test_remove_compacts_indices_correctly(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"A", b"a0"))
+        page.insert_version(rec(b"B", b"b0"))
+        page.insert_version(rec(b"B", b"b1"))
+        page.insert_version(rec(b"C", b"c0"))
+        page.remove_newest_version(b"A")
+        assert [v.payload for v in page.chain(b"B")] == [b"b1", b"b0"]
+        assert page.head(b"C").payload == b"c0"
+
+
+class TestSpaceAccounting:
+    def test_used_bytes_tracks_inserts(self):
+        page = DataPage(1)
+        before = page.used_bytes
+        r = rec(b"k", b"x" * 100)
+        page.insert_version(r)
+        assert page.used_bytes == before + r.size_on_page + SLOT_SIZE
+
+    def test_page_full_raises(self):
+        page = DataPage(1)
+        big = b"x" * 1000
+        with pytest.raises(PageFullError):
+            for i in range(100):
+                page.insert_version(rec(f"k{i:03}".encode(), big))
+
+    def test_full_page_still_fits_smaller_records(self):
+        page = DataPage(1)
+        n = 0
+        try:
+            while True:
+                page.insert_version(rec(f"k{n:05}".encode(), b"y" * 500))
+                n += 1
+        except PageFullError:
+            pass
+        assert page.free_bytes < rec(b"k", b"y" * 500).size_on_page + SLOT_SIZE
+
+    def test_current_version_bytes_counts_heads_only(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"A", b"x" * 10))
+        head_size = rec(b"A", b"x" * 10).size_on_page
+        page.insert_version(rec(b"A", b"x" * 10))
+        page.insert_version(rec(b"A", b"x" * 10))
+        assert page.current_version_bytes() == head_size
+
+
+class TestInPlaceUpdates:
+    def test_replace_payload(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"A", b"old!"))
+        page.replace_payload_in_place(b"A", b"new-longer")
+        assert page.head(b"A").payload == b"new-longer"
+
+    def test_replace_adjusts_used_bytes(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"A", b"aaaa"))
+        used = page.used_bytes
+        page.replace_payload_in_place(b"A", b"aa")
+        assert page.used_bytes == used - 2
+
+    def test_replace_missing_key_raises(self):
+        page = DataPage(1)
+        with pytest.raises(KeyError):
+            page.replace_payload_in_place(b"A", b"x")
+
+
+class TestCodec:
+    def test_roundtrip_with_chains_and_headers(self):
+        page = DataPage(7, table_id=3, immortal=True)
+        page.split_ts = Timestamp(100, 2)
+        page.history_page_id = 42
+        page.next_leaf_id = 43
+        page.lsn = 999
+        page.insert_version(rec(b"A", b"a0"))
+        page.insert_version(rec(b"A", b"a1"))
+        page.insert_version(rec(b"B", b"b0"))
+        decoded = decode_page(page.to_bytes())
+        assert isinstance(decoded, DataPage)
+        assert decoded.page_id == 7
+        assert decoded.table_id == 3
+        assert decoded.immortal
+        assert decoded.split_ts == Timestamp(100, 2)
+        assert decoded.history_page_id == 42
+        assert decoded.next_leaf_id == 43
+        assert decoded.lsn == 999
+        assert [v.payload for v in decoded.chain(b"A")] == [b"a1", b"a0"]
+        assert decoded.used_bytes == page.used_bytes
+
+    def test_image_is_exactly_page_size(self):
+        page = DataPage(1)
+        page.insert_version(rec(b"A"))
+        assert len(page.to_bytes()) == PAGE_SIZE
+
+    def test_history_page_type_roundtrips(self):
+        page = DataPage(5, is_history=True)
+        page.end_ts = Timestamp(200, 0)
+        decoded = decode_page(page.to_bytes())
+        assert isinstance(decoded, DataPage)
+        assert decoded.is_history
+        assert decoded.end_ts == Timestamp(200, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 9), st.binary(min_size=0, max_size=40)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_roundtrip_property(self, ops):
+        page = DataPage(3)
+        for keynum, payload in ops:
+            page.insert_version(rec(f"key{keynum}".encode(), payload))
+        decoded = decode_page(page.to_bytes())
+        assert decoded.keys() == page.keys()
+        for key in page.keys():
+            assert [v.payload for v in decoded.chain(key)] == [
+                v.payload for v in page.chain(key)
+            ]
+        assert decoded.used_bytes == page.used_bytes
+
+
+class TestMetaPage:
+    def test_blob_roundtrip(self):
+        meta = MetaPage(0, b'{"hello": 1}')
+        decoded = decode_page(meta.to_bytes())
+        assert isinstance(decoded, MetaPage)
+        assert decoded.blob == b'{"hello": 1}'
+
+    def test_zero_page_decodes_as_empty_meta(self):
+        decoded = decode_page(bytes(PAGE_SIZE))
+        assert isinstance(decoded, MetaPage)
+        assert decoded.blob == b""
+
+    def test_oversized_blob_rejected(self):
+        from repro.errors import PageFormatError
+
+        with pytest.raises(PageFormatError):
+            MetaPage(0, b"x" * PAGE_SIZE).to_bytes()
+
+
+class TestHeaderSizes:
+    def test_data_header_leaves_room(self):
+        page = DataPage(1)
+        assert page.used_bytes == DATA_HEADER_SIZE
+        assert page.free_bytes == PAGE_SIZE - DATA_HEADER_SIZE

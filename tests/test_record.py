@@ -1,0 +1,121 @@
+"""Tests for the record layout (paper Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock import Timestamp
+from repro.storage.constants import NO_PREVIOUS, RecordFlag, VERSIONING_TAIL_SIZE
+from repro.storage.record import RecordVersion
+
+
+def make(key=b"k1", payload=b"hello", tid=7, **kw) -> RecordVersion:
+    return RecordVersion.new(key, payload, tid, **kw)
+
+
+class TestRecordCreation:
+    def test_new_record_carries_tid_not_timestamp(self):
+        rec = make(tid=99)
+        assert not rec.is_timestamped
+        assert rec.tid == 99
+
+    def test_new_record_has_no_previous_version(self):
+        rec = make()
+        assert not rec.has_previous
+        assert rec.vp == NO_PREVIOUS
+
+    def test_delete_stub_has_empty_payload(self):
+        stub = RecordVersion.new(b"k", b"ignored", 3, delete_stub=True)
+        assert stub.is_delete_stub
+        assert stub.payload == b""
+
+    def test_timestamp_access_before_stamping_fails(self):
+        with pytest.raises(ValueError):
+            _ = make().timestamp
+
+
+class TestStamping:
+    def test_stamp_replaces_tid_with_timestamp(self):
+        rec = make(tid=5)
+        ts = Timestamp(1000, 3)
+        rec.stamp(ts)
+        assert rec.is_timestamped
+        assert rec.timestamp == ts
+
+    def test_double_stamping_rejected(self):
+        rec = make()
+        rec.stamp(Timestamp(1, 0))
+        with pytest.raises(ValueError):
+            rec.stamp(Timestamp(2, 0))
+
+    def test_tid_access_after_stamping_fails(self):
+        rec = make()
+        rec.stamp(Timestamp(1, 0))
+        with pytest.raises(ValueError):
+            _ = rec.tid
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        rec = make(key=b"abc", payload=b"\x00\x01\x02", tid=123)
+        rec.vp = 17
+        rec.flags |= RecordFlag.VP_IN_HISTORY
+        image = rec.to_bytes()
+        decoded, consumed = RecordVersion.from_bytes(image)
+        assert consumed == len(image)
+        assert decoded == rec
+
+    def test_versioning_tail_is_exactly_14_bytes(self):
+        """Figure 1: VP(2) + Ttime(8) + SN(4) = the same 14 bytes SQL Server
+        spends on snapshot versioning."""
+        rec = make(key=b"", payload=b"")
+        fixed = 1 + 2 + 2  # flags + key_len + payload_len
+        assert len(rec.to_bytes()) == fixed + VERSIONING_TAIL_SIZE
+        assert VERSIONING_TAIL_SIZE == 14
+
+    def test_size_on_page_matches_encoding(self):
+        rec = make(key=b"abcd", payload=b"x" * 37)
+        assert rec.size_on_page == len(rec.to_bytes())
+
+    def test_decode_at_offset(self):
+        rec = make()
+        blob = b"\xff" * 10 + rec.to_bytes()
+        decoded, end = RecordVersion.from_bytes(blob, 10)
+        assert decoded == rec
+        assert end == len(blob)
+
+    def test_stamped_record_roundtrip(self):
+        rec = make()
+        rec.stamp(Timestamp(555, 666))
+        decoded, _ = RecordVersion.from_bytes(rec.to_bytes())
+        assert decoded.is_timestamped
+        assert decoded.timestamp == Timestamp(555, 666)
+
+    @given(
+        key=st.binary(min_size=0, max_size=64),
+        payload=st.binary(min_size=0, max_size=512),
+        tid=st.integers(1, 2**62),
+        vp=st.integers(0, 0xFFFF),
+        stub=st.booleans(),
+    )
+    def test_roundtrip_property(self, key, payload, tid, vp, stub):
+        rec = RecordVersion.new(key, payload, tid, delete_stub=stub)
+        rec.vp = vp
+        decoded, consumed = RecordVersion.from_bytes(rec.to_bytes())
+        assert decoded == rec
+        assert consumed == rec.size_on_page
+
+
+class TestCopy:
+    def test_copy_is_detached(self):
+        rec = make()
+        dup = rec.copy()
+        dup.stamp(Timestamp(9, 9))
+        assert not rec.is_timestamped
+
+    def test_copy_preserves_all_fields(self):
+        rec = make(key=b"kk", payload=b"pp")
+        rec.vp = 3
+        rec.flags |= RecordFlag.VP_IN_HISTORY
+        assert rec.copy() == rec

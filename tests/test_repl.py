@@ -1,0 +1,97 @@
+"""Tests for the interactive SQL shell (driven via stdin)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.sql.executor import Result
+from repro.sql.repl import render_rows
+
+
+class TestRenderRows:
+    def test_message_only(self):
+        assert render_rows(Result(message="CREATE TABLE t")) == "CREATE TABLE t"
+
+    def test_rowcount_fallback(self):
+        assert "3 row(s)" in render_rows(Result(rowcount=3))
+
+    def test_table_rendering(self):
+        out = render_rows(
+            Result(rows=[{"k": 1, "v": "abc"}, {"k": 22, "v": None}])
+        )
+        assert "k " in out and "v" in out
+        assert "22" in out and "None" in out
+        assert "(2 row(s))" in out
+
+
+def run_repl(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.sql.repl", *args],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestReplEndToEnd:
+    def test_full_session(self):
+        out = run_repl(
+            "CREATE IMMORTAL TABLE t (k INT PRIMARY KEY, v TEXT);\n"
+            "INSERT INTO t VALUES (1, 'one'), (2, 'two');\n"
+            "SELECT * FROM t ORDER BY k;\n"
+            "\\t\n"
+            "\\check\n"
+            "\\q\n"
+        )
+        assert "CREATE IMMORTAL TABLE t" in out
+        assert "one" in out and "two" in out
+        assert "(immortal, key=k)" in out
+        assert "CLEAN" in out
+
+    def test_multiline_statement(self):
+        out = run_repl(
+            "CREATE TABLE t (k INT PRIMARY KEY,\n"
+            "v TEXT);\n"
+            "INSERT INTO t\n"
+            "VALUES (5, 'hello');\n"
+            "SELECT v FROM t;\n"
+            "\\q\n"
+        )
+        assert "hello" in out
+
+    def test_error_does_not_kill_session(self):
+        out = run_repl(
+            "SELECT * FROM missing;\n"
+            "CREATE TABLE t (k INT PRIMARY KEY, v TEXT);\n"
+            "\\q\n"
+        )
+        assert "error:" in out
+        assert "CREATE TABLE t" in out
+
+    def test_clock_meta_commands_and_asof(self):
+        out = run_repl(
+            "CREATE IMMORTAL TABLE t (k INT PRIMARY KEY, v TEXT);\n"
+            "INSERT INTO t VALUES (1, 'past');\n"
+            "\\advance 120000\n"
+            "UPDATE t SET v = 'present' WHERE k = 1;\n"
+            "SELECT * FROM t AS OF '2006-01-01 00:01:00';\n"
+            "\\q\n"
+        )
+        assert "past" in out
+
+    def test_file_backed_database_persists(self, tmp_path):
+        path = str(tmp_path / "repl.db")
+        run_repl(
+            "CREATE TABLE t (k INT PRIMARY KEY, v TEXT);\n"
+            "INSERT INTO t VALUES (1, 'durable');\n"
+            "\\q\n",
+            path,
+        )
+        out = run_repl("SELECT * FROM t;\n\\q\n", path)
+        assert "durable" in out

@@ -1,0 +1,138 @@
+"""Tests for row/key codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rowcodec import ColumnType, RowCodec, decode_key, encode_key
+from repro.errors import SchemaError
+
+
+class TestKeyEncoding:
+    @pytest.mark.parametrize("ctype,lo,hi", [
+        (ColumnType.SMALLINT, -(1 << 15), (1 << 15) - 1),
+        (ColumnType.INT, -(1 << 31), (1 << 31) - 1),
+        (ColumnType.BIGINT, -(1 << 63), (1 << 63) - 1),
+    ])
+    def test_int_roundtrip_at_extremes(self, ctype, lo, hi):
+        for value in (lo, -1, 0, 1, hi):
+            assert decode_key(encode_key(value, ctype), ctype) == value
+
+    def test_int_out_of_range(self):
+        with pytest.raises(SchemaError):
+            encode_key(1 << 15, ColumnType.SMALLINT)
+
+    def test_bool_is_not_an_integer_key(self):
+        with pytest.raises(SchemaError):
+            encode_key(True, ColumnType.INT)
+
+    def test_text_roundtrip(self):
+        assert decode_key(encode_key("héllo", ColumnType.TEXT),
+                          ColumnType.TEXT) == "héllo"
+
+    def test_text_with_nul_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_key("a\x00b", ColumnType.TEXT)
+
+    def test_float_cannot_be_a_key(self):
+        with pytest.raises(SchemaError):
+            encode_key(1.5, ColumnType.FLOAT)
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1),
+           st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_int_encoding_is_order_preserving(self, a, b):
+        ea = encode_key(a, ColumnType.INT)
+        eb = encode_key(b, ColumnType.INT)
+        assert (ea < eb) == (a < b)
+
+    @given(
+        st.text(
+            alphabet=st.characters(
+                blacklist_characters="\x00", blacklist_categories=["Cs"]
+            ),
+            max_size=20,
+        ),
+        st.text(
+            alphabet=st.characters(
+                blacklist_characters="\x00", blacklist_categories=["Cs"]
+            ),
+            max_size=20,
+        ),
+    )
+    def test_text_order_preserved(self, a, b):
+        # UTF-8 byte order equals code-point order (surrogates excluded:
+        # they are not encodable).
+        ea = encode_key(a, ColumnType.TEXT)
+        eb = encode_key(b, ColumnType.TEXT)
+        assert (ea < eb) == (a < b)
+
+
+class TestRowCodec:
+    @pytest.fixture
+    def codec(self):
+        return RowCodec(
+            [("id", ColumnType.INT), ("name", ColumnType.TEXT),
+             ("score", ColumnType.FLOAT), ("active", ColumnType.BOOL),
+             ("big", ColumnType.BIGINT)],
+            key_column="id",
+        )
+
+    def test_full_roundtrip(self, codec):
+        row = {"id": 7, "name": "x", "score": 1.25, "active": True,
+               "big": 1 << 40}
+        key, payload = codec.encode_row(row)
+        assert codec.decode_row(key, payload) == row
+
+    def test_nulls_roundtrip(self, codec):
+        row = {"id": 1, "name": None, "score": None, "active": None,
+               "big": None}
+        key, payload = codec.encode_row(row)
+        assert codec.decode_row(key, payload) == row
+
+    def test_missing_columns_become_null(self, codec):
+        key, payload = codec.encode_row({"id": 1, "name": "only"})
+        decoded = codec.decode_row(key, payload)
+        assert decoded["name"] == "only"
+        assert decoded["score"] is None
+
+    def test_unknown_column_rejected(self, codec):
+        with pytest.raises(SchemaError):
+            codec.encode_payload({"nope": 1})
+
+    def test_missing_key_rejected(self, codec):
+        with pytest.raises(SchemaError):
+            codec.encode_row({"name": "x"})
+
+    def test_null_key_rejected(self, codec):
+        with pytest.raises(SchemaError):
+            codec.encode_row({"id": None, "name": "x"})
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RowCodec([("a", ColumnType.INT), ("a", ColumnType.TEXT)], "a")
+
+    def test_key_not_in_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RowCodec([("a", ColumnType.INT)], "b")
+
+    def test_trailing_bytes_rejected(self, codec):
+        _, payload = codec.encode_row({"id": 1})
+        with pytest.raises(SchemaError):
+            codec.decode_payload(payload + b"\x00")
+
+    @given(
+        ident=st.integers(-(1 << 31), (1 << 31) - 1),
+        name=st.one_of(st.none(), st.text(max_size=50)),
+        score=st.one_of(st.none(), st.floats(allow_nan=False)),
+        active=st.one_of(st.none(), st.booleans()),
+    )
+    def test_roundtrip_property(self, ident, name, score, active):
+        codec = RowCodec(
+            [("id", ColumnType.INT), ("name", ColumnType.TEXT),
+             ("score", ColumnType.FLOAT), ("active", ColumnType.BOOL)],
+            key_column="id",
+        )
+        row = {"id": ident, "name": name, "score": score, "active": active}
+        key, payload = codec.encode_row(row)
+        assert codec.decode_row(key, payload) == row

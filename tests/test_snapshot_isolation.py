@@ -1,0 +1,235 @@
+"""Tests for snapshot isolation: lock-free reads, conflicts, version GC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB, TxnMode
+from repro.concurrency.snapshot import prune_conventional_page, visible_version
+from repro.clock import Timestamp
+from repro.errors import WriteConflictError
+from repro.storage.page import DataPage
+from repro.storage.record import RecordVersion
+
+
+@pytest.fixture
+def db():
+    return ImmortalDB(buffer_pages=64)
+
+
+@pytest.fixture
+def table(db):
+    return db.create_table(
+        "t", columns=[("k", ColumnType.INT), ("v", ColumnType.TEXT)],
+        key="k", snapshot=True,
+    )
+
+
+class TestSnapshotReads:
+    def test_reader_sees_state_at_begin(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "before"})
+        reader = db.begin(TxnMode.SNAPSHOT)
+        with db.transaction() as txn:
+            table.update(txn, 1, {"v": "after"})
+        assert table.read(reader, 1)["v"] == "before"
+        db.commit(reader)
+
+    def test_reader_not_blocked_by_concurrent_writer(self, db, table):
+        """The headline benefit: reads proceed without locking."""
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "committed"})
+        writer = db.begin()
+        table.update(writer, 1, {"v": "in-flight"})
+        reader = db.begin(TxnMode.SNAPSHOT)
+        assert table.read(reader, 1)["v"] == "committed"
+        db.commit(writer)
+        db.commit(reader)
+
+    def test_snapshot_reader_takes_no_locks(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "x"})
+        reader = db.begin(TxnMode.SNAPSHOT)
+        table.read(reader, 1)
+        assert db.locks.locks_held(reader.tid) == 0
+        db.commit(reader)
+
+    def test_reader_sees_deletes_after_its_snapshot(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "x"})
+        reader = db.begin(TxnMode.SNAPSHOT)
+        with db.transaction() as txn:
+            table.delete(txn, 1)
+        assert table.read(reader, 1)["v"] == "x"
+        db.commit(reader)
+        late_reader = db.begin(TxnMode.SNAPSHOT)
+        assert table.read(late_reader, 1) is None
+        db.commit(late_reader)
+
+    def test_scan_is_snapshot_consistent(self, db, table):
+        with db.transaction() as txn:
+            for i in range(5):
+                table.insert(txn, {"k": i, "v": "old"})
+        reader = db.begin(TxnMode.SNAPSHOT)
+        with db.transaction() as txn:
+            table.update(txn, 2, {"v": "new"})
+            table.delete(txn, 4)
+            table.insert(txn, {"k": 99, "v": "new"})
+        rows = table.scan(reader)
+        assert len(rows) == 5
+        assert all(r["v"] == "old" for r in rows)
+        db.commit(reader)
+
+
+class TestWriteConflicts:
+    def test_first_committer_wins(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "base"})
+        t1 = db.begin(TxnMode.SNAPSHOT)
+        # A later transaction updates and commits first.
+        with db.transaction() as txn:
+            table.update(txn, 1, {"v": "winner"})
+        with pytest.raises(WriteConflictError):
+            table.update(t1, 1, {"v": "loser"})
+        db.abort(t1)
+        with db.transaction() as reader:
+            assert table.read(reader, 1)["v"] == "winner"
+
+    def test_non_conflicting_snapshot_writes_succeed(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "a"})
+            table.insert(txn, {"k": 2, "v": "b"})
+        t1 = db.begin(TxnMode.SNAPSHOT)
+        t2 = db.begin(TxnMode.SNAPSHOT)
+        table.update(t1, 1, {"v": "t1"})
+        table.update(t2, 2, {"v": "t2"})
+        db.commit(t1)
+        db.commit(t2)
+        with db.transaction() as reader:
+            assert table.read(reader, 1)["v"] == "t1"
+            assert table.read(reader, 2)["v"] == "t2"
+
+
+class TestVisibleVersion:
+    def _chain(self, *times: int) -> list[RecordVersion]:
+        out = []
+        for t in times:  # newest first
+            rec = RecordVersion.new(b"k", f"v{t}".encode(), tid=1)
+            rec.stamp(Timestamp(t, 0))
+            out.append(rec)
+        return out
+
+    def test_exclusive_horizon(self):
+        chain = self._chain(30, 20, 10)
+        got = visible_version(
+            chain, horizon=Timestamp(20, 0), inclusive=False,
+            resolve=lambda tid: (None, False),
+        )
+        assert got.payload == b"v10"
+
+    def test_inclusive_horizon(self):
+        chain = self._chain(30, 20, 10)
+        got = visible_version(
+            chain, horizon=Timestamp(20, 0), inclusive=True,
+            resolve=lambda tid: (None, False),
+        )
+        assert got.payload == b"v20"
+
+    def test_horizon_before_everything(self):
+        chain = self._chain(30, 20, 10)
+        got = visible_version(
+            chain, horizon=Timestamp(5, 0), inclusive=True,
+            resolve=lambda tid: (None, False),
+        )
+        assert got is None
+
+    def test_own_uncommitted_version_visible_for_current_reads(self):
+        mine = RecordVersion.new(b"k", b"mine", tid=7)
+        got = visible_version(
+            [mine], horizon=None, inclusive=False,
+            resolve=lambda tid: (None, False), own_tid=7,
+        )
+        assert got.payload == b"mine"
+
+    def test_other_active_writers_skipped(self):
+        theirs = RecordVersion.new(b"k", b"theirs", tid=9)
+        chain = [theirs] + self._chain(10)
+        got = visible_version(
+            chain, horizon=None, inclusive=False,
+            resolve=lambda tid: (None, False), own_tid=7,
+        )
+        assert got.payload == b"v10"
+
+
+class TestVersionGarbageCollection:
+    def _page_with_chain(self, *times: int) -> DataPage:
+        page = DataPage(1, table_id=1)
+        for t in sorted(times):
+            rec = RecordVersion.new(b"k", f"v{t}".encode(), tid=1)
+            rec.stamp(Timestamp(t, 0))
+            page.insert_version(rec)
+        return page
+
+    def test_no_snapshots_keeps_only_heads(self):
+        page = self._page_with_chain(10, 20, 30)
+        rebuilt, dropped = prune_conventional_page(
+            page, None, lambda tid: (None, False)
+        )
+        assert dropped == 2
+        assert [v.payload for v in rebuilt.chain(b"k")] == [b"v30"]
+
+    def test_oldest_snapshot_pins_its_version(self):
+        page = self._page_with_chain(10, 20, 30)
+        rebuilt, dropped = prune_conventional_page(
+            page, Timestamp(25, 0), lambda tid: (None, False)
+        )
+        # Snapshot at t=25 reads v20: keep v30 and v20, drop v10.
+        assert dropped == 1
+        assert [v.payload for v in rebuilt.chain(b"k")] == [b"v30", b"v20"]
+
+    def test_uncommitted_versions_always_survive(self):
+        page = self._page_with_chain(10)
+        page.insert_version(RecordVersion.new(b"k", b"dirty", tid=99))
+        rebuilt, dropped = prune_conventional_page(
+            page, None, lambda tid: (None, False)
+        )
+        payloads = [v.payload for v in rebuilt.chain(b"k")]
+        assert b"dirty" in payloads
+
+    def test_dead_stub_chains_vanish_entirely(self):
+        page = DataPage(1, table_id=1)
+        rec = RecordVersion.new(b"k", b"x", tid=1)
+        rec.stamp(Timestamp(10, 0))
+        page.insert_version(rec)
+        stub = RecordVersion.new(b"k", b"", tid=1, delete_stub=True)
+        stub.stamp(Timestamp(20, 0))
+        page.insert_version(stub)
+        rebuilt, dropped = prune_conventional_page(
+            page, None, lambda tid: (None, False)
+        )
+        assert rebuilt.keys() == []
+        assert dropped == 2
+
+    def test_engine_prunes_on_page_pressure(self, db, table):
+        """A conventional snapshot table stays bounded under updates."""
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "x" * 100})
+        for i in range(500):
+            with db.transaction() as txn:
+                table.update(txn, 1, {"v": f"{i}" + "y" * 100})
+        assert table.btree.stats.prunes >= 1
+        assert table.btree.stats.time_splits == 0
+        # History was NOT kept: chain stays short.
+        leaf = table.btree.search_leaf(table.codec.encode_key(1))
+        assert len(list(leaf.chain(table.codec.encode_key(1)))) < 50
+
+    def test_active_snapshot_protects_versions_from_pruning(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "protected"})
+        reader = db.begin(TxnMode.SNAPSHOT)
+        for i in range(300):
+            with db.transaction() as txn:
+                table.update(txn, 1, {"v": f"{i}" + "z" * 120})
+        # Despite pruning pressure, the reader still gets its version.
+        assert table.read(reader, 1)["v"] == "protected"
+        db.commit(reader)

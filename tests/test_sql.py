@@ -1,0 +1,262 @@
+"""Tests for the SQL front end: lexer, parser, executor, paper syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ImmortalDB
+from repro.errors import SQLExecutionError, SQLSyntaxError
+from repro.sql import Session, parse_statement, tokenize
+from repro.sql import ast
+from repro.sql.lexer import TokenType
+
+
+@pytest.fixture
+def session():
+    return Session(ImmortalDB(buffer_pages=64))
+
+
+MOVING_OBJECTS_DDL = (
+    "Create IMMORTAL Table MovingObjects "
+    "(Oid smallint PRIMARY KEY, LocationX int, LocationY int) ON [PRIMARY]"
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select SeLeCt SELECT")
+        assert all(t.value == "SELECT" for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        token = tokenize("MovingObjects")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "MovingObjects"
+
+    def test_double_quoted_strings(self):
+        token = tokenize('"8/12/2004 10:15:20"')[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "8/12/2004 10:15:20"
+
+    def test_quote_escaping(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.14"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n*")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "*"]
+
+    def test_bad_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_paper_create_statement(self):
+        stmt = parse_statement(MOVING_OBJECTS_DDL)
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.immortal
+        assert stmt.name == "MovingObjects"
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[0].type_name == "SMALLINT"
+        assert stmt.filegroup == "PRIMARY"
+
+    def test_paper_begin_tran_as_of(self):
+        stmt = parse_statement('Begin Tran AS OF "8/12/2004 10:15:20"')
+        assert isinstance(stmt, ast.BeginTran)
+        assert stmt.as_of == "8/12/2004 10:15:20"
+
+    def test_paper_select(self):
+        stmt = parse_statement("SELECT * FROM MovingObjects WHERE Oid < 10")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.columns is None
+        assert stmt.where == ast.Comparison("Oid", "<", 10)
+
+    def test_complex_where(self):
+        stmt = parse_statement(
+            "SELECT * FROM t WHERE a = 1 AND (b > 2 OR NOT c <> 'x')"
+        )
+        assert isinstance(stmt.where, ast.And)
+        assert isinstance(stmt.where.right, ast.Or)
+
+    def test_insert_multiple_rows(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (k, v) VALUES (1, NULL)")
+        assert stmt.columns == ("k", "v")
+        assert stmt.rows[0] == (1, None)
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET v = 'x', n = 3 WHERE k = 1")
+        assert stmt.assignments == (("v", "x"), ("n", 3))
+
+    def test_select_order_limit(self):
+        stmt = parse_statement("SELECT k FROM t ORDER BY k DESC LIMIT 5")
+        assert stmt.order_by.descending
+        assert stmt.limit == 5
+
+    def test_inline_as_of(self):
+        stmt = parse_statement(
+            "SELECT * FROM t AS OF '2006-01-01 00:00:30' WHERE k = 1"
+        )
+        assert stmt.as_of == "2006-01-01 00:00:30"
+
+    def test_begin_snapshot_tran(self):
+        stmt = parse_statement("BEGIN SNAPSHOT TRAN")
+        assert stmt.snapshot
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("COMMIT TRAN extra")
+
+    def test_varchar_size(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(80))"
+        )
+        assert stmt.columns[1].size == 80
+
+
+class TestExecutorDDLAndDML:
+    def test_create_insert_select(self, session):
+        session.execute(MOVING_OBJECTS_DDL)
+        session.execute("INSERT INTO MovingObjects VALUES (1, 10, 20)")
+        result = session.execute("SELECT * FROM MovingObjects")
+        assert result.rows == [{"Oid": 1, "LocationX": 10, "LocationY": 20}]
+
+    def test_update_and_delete(self, session):
+        session.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        session.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+        assert session.execute("UPDATE t SET v = 'z' WHERE k > 1").rowcount == 2
+        assert session.execute("DELETE FROM t WHERE k = 2").rowcount == 1
+        rows = session.execute("SELECT * FROM t ORDER BY k").rows
+        assert rows == [{"k": 1, "v": "a"}, {"k": 3, "v": "z"}]
+
+    def test_projection(self, session):
+        session.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        session.execute("INSERT INTO t VALUES (1, 'a')")
+        rows = session.execute("SELECT v FROM t").rows
+        assert rows == [{"v": "a"}]
+
+    def test_missing_primary_key_rejected(self, session):
+        with pytest.raises(SQLExecutionError):
+            session.execute("CREATE TABLE t (k INT, v TEXT)")
+
+    def test_point_lookup_by_key_equality(self, session):
+        session.execute(MOVING_OBJECTS_DDL)
+        for oid in range(20):
+            session.execute(
+                f"INSERT INTO MovingObjects VALUES ({oid}, {oid * 2}, 0)"
+            )
+        rows = session.execute(
+            "SELECT * FROM MovingObjects WHERE Oid = 7"
+        ).rows
+        assert rows[0]["LocationX"] == 14
+
+    def test_alter_enable_snapshot(self, session):
+        session.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        session.execute("ALTER TABLE t ENABLE SNAPSHOT")
+        assert session.db.table("t").versioned
+
+
+class TestTransactions:
+    def test_explicit_commit(self, session):
+        session.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        session.execute("BEGIN TRAN")
+        session.execute("INSERT INTO t VALUES (1, 'a')")
+        session.execute("COMMIT TRAN")
+        assert session.execute("SELECT * FROM t").rowcount == 1
+
+    def test_rollback_discards(self, session):
+        session.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        session.execute("BEGIN TRAN")
+        session.execute("INSERT INTO t VALUES (1, 'a')")
+        session.execute("ROLLBACK TRAN")
+        assert session.execute("SELECT * FROM t").rowcount == 0
+
+    def test_nested_begin_rejected(self, session):
+        session.execute("BEGIN TRAN")
+        with pytest.raises(SQLExecutionError):
+            session.execute("BEGIN TRAN")
+        session.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, session):
+        with pytest.raises(SQLExecutionError):
+            session.execute("COMMIT TRAN")
+
+
+class TestAsOfQueries:
+    def _seed(self, session) -> str:
+        """Insert, then update after an hour; return the in-between time."""
+        session.execute(MOVING_OBJECTS_DDL)
+        session.execute("INSERT INTO MovingObjects VALUES (1, 10, 20)")
+        session.execute("INSERT INTO MovingObjects VALUES (2, 30, 40)")
+        # Datetime strings have one-second granularity; leave a clear gap
+        # on both sides of the capture point.
+        session.db.advance_time(60_000)
+        between = session.db.clock.now_datetime()
+        session.db.advance_time(3_600_000)
+        session.execute("UPDATE MovingObjects SET LocationX = 99 WHERE Oid = 1")
+        session.execute("DELETE FROM MovingObjects WHERE Oid = 2")
+        return between.strftime("%m/%d/%Y %H:%M:%S")
+
+    def test_paper_begin_tran_as_of_query(self, session):
+        when = self._seed(session)
+        session.execute(f'Begin Tran AS OF "{when}"')
+        rows = session.execute(
+            "SELECT * FROM MovingObjects WHERE Oid < 10"
+        ).rows
+        session.execute("Commit Tran")
+        assert len(rows) == 2
+        assert rows[0]["LocationX"] == 10
+
+    def test_inline_as_of_select(self, session):
+        when = self._seed(session)
+        rows = session.execute(
+            f"SELECT * FROM MovingObjects AS OF '{when}'"
+        ).rows
+        assert len(rows) == 2
+
+    def test_writes_inside_as_of_tran_rejected(self, session):
+        from repro.errors import ReadOnlyTransactionError
+
+        when = self._seed(session)
+        session.execute(f'BEGIN TRAN AS OF "{when}"')
+        with pytest.raises(ReadOnlyTransactionError):
+            session.execute("INSERT INTO MovingObjects VALUES (9, 0, 0)")
+        session.execute("ROLLBACK TRAN")
+
+    def test_current_query_sees_updates(self, session):
+        self._seed(session)
+        rows = session.execute("SELECT * FROM MovingObjects").rows
+        assert len(rows) == 1
+        assert rows[0]["LocationX"] == 99
+
+
+class TestScripts:
+    def test_execute_script(self, session):
+        results = session.execute_script(
+            """
+            CREATE TABLE t (k INT PRIMARY KEY, v TEXT);
+            INSERT INTO t VALUES (1, 'one');
+            INSERT INTO t VALUES (2, 'two');
+            SELECT * FROM t ORDER BY k;
+            """
+        )
+        assert results[-1].rowcount == 2
+
+    def test_snapshot_tran_via_sql(self, session):
+        session.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        session.execute("ALTER TABLE t ENABLE SNAPSHOT")
+        session.execute("INSERT INTO t VALUES (1, 'before')")
+        session.execute("BEGIN SNAPSHOT TRAN")
+        # A second session updates concurrently.
+        other = Session(session.db)
+        other.execute("UPDATE t SET v = 'after' WHERE k = 1")
+        rows = session.execute("SELECT * FROM t").rows
+        session.execute("COMMIT TRAN")
+        assert rows[0]["v"] == "before"

@@ -1,0 +1,93 @@
+"""Tests for WHERE-clause key-range pushdown in the SQL executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB
+from repro.sql import Session
+from repro.sql.executor import _key_range
+from repro.sql.parser import parse_statement
+
+
+def where_of(sql: str):
+    return parse_statement(sql).where
+
+
+class TestKeyRangeExtraction:
+    def test_two_sided_range(self):
+        where = where_of("SELECT * FROM t WHERE k >= 5 AND k <= 10")
+        assert _key_range(where, "k") == (5, 10)
+
+    def test_one_sided(self):
+        assert _key_range(where_of("SELECT * FROM t WHERE k > 7"), "k") \
+            == (7, None)
+        assert _key_range(where_of("SELECT * FROM t WHERE k < 7"), "k") \
+            == (None, 7)
+
+    def test_equality_collapses(self):
+        where = where_of("SELECT * FROM t WHERE k = 3 AND v = 'x'")
+        assert _key_range(where, "k") == (3, 3)
+
+    def test_tightest_bounds_win(self):
+        where = where_of("SELECT * FROM t WHERE k > 2 AND k > 8 AND k < 20")
+        assert _key_range(where, "k") == (8, 20)
+
+    def test_or_disables_pushdown(self):
+        where = where_of("SELECT * FROM t WHERE k > 5 OR v = 'x'")
+        assert _key_range(where, "k") == (None, None)
+
+    def test_not_disables_pushdown(self):
+        where = where_of("SELECT * FROM t WHERE NOT k < 5")
+        assert _key_range(where, "k") == (None, None)
+
+    def test_other_columns_ignored(self):
+        where = where_of("SELECT * FROM t WHERE v > 'a' AND k <= 4")
+        assert _key_range(where, "k") == (None, 4)
+
+
+class TestPushdownExecution:
+    @pytest.fixture
+    def session(self):
+        db = ImmortalDB(buffer_pages=256)
+        session = Session(db)
+        session.execute(
+            "CREATE IMMORTAL TABLE t (k INT PRIMARY KEY, v TEXT)"
+        )
+        session.execute("BEGIN TRAN")
+        for k in range(300):
+            session.execute(f"INSERT INTO t VALUES ({k}, 'row{k}xxxxxxxxxx')")
+        session.execute("COMMIT TRAN")
+        return session
+
+    def test_range_select_correct(self, session):
+        rows = session.execute(
+            "SELECT k FROM t WHERE k >= 100 AND k < 110 ORDER BY k"
+        ).rows
+        assert [r["k"] for r in rows] == list(range(100, 110))
+
+    def test_range_update_and_delete(self, session):
+        assert session.execute(
+            "UPDATE t SET v = 'z' WHERE k >= 290 AND k <= 294"
+        ).rowcount == 5
+        assert session.execute(
+            "DELETE FROM t WHERE k > 294"
+        ).rowcount == 5
+        rows = session.execute("SELECT * FROM t WHERE k >= 289").rows
+        assert len(rows) == 6  # 289..294
+
+    def test_strict_bounds_filtered_exactly(self, session):
+        rows = session.execute(
+            "SELECT k FROM t WHERE k > 5 AND k < 8 ORDER BY k"
+        ).rows
+        assert [r["k"] for r in rows] == [6, 7]
+
+    def test_pushdown_matches_full_scan_semantics(self, session):
+        narrow = session.execute(
+            "SELECT * FROM t WHERE k >= 50 AND k <= 60 AND v <> 'row55xxxxxxxxxx'"
+        ).rows
+        wide = [
+            r for r in session.execute("SELECT * FROM t").rows
+            if 50 <= r["k"] <= 60 and r["v"] != "row55xxxxxxxxxx"
+        ]
+        assert narrow == wide

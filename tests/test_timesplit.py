@@ -1,0 +1,222 @@
+"""Tests for page time splits — the four cases of Figure 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access.timesplit import (
+    key_split_page,
+    needs_key_split,
+    time_split_page,
+)
+from repro.clock import Timestamp
+from repro.errors import AccessMethodError
+from repro.storage.page import DataPage
+from repro.storage.record import RecordVersion
+
+
+def stamped(key: bytes, payload: bytes, t: int) -> RecordVersion:
+    rec = RecordVersion.new(key, payload, tid=999)
+    rec.stamp(Timestamp(t, 0))
+    return rec
+
+
+def stub(key: bytes, t: int) -> RecordVersion:
+    rec = RecordVersion.new(key, b"", tid=999, delete_stub=True)
+    rec.stamp(Timestamp(t, 0))
+    return rec
+
+
+def page_with(*chains: list[RecordVersion]) -> DataPage:
+    page = DataPage(1, table_id=1, immortal=True)
+    for chain in chains:
+        for version in chain:  # oldest-first insert order
+            page.insert_version(version)
+    return page
+
+
+SPLIT = Timestamp(100, 0)
+
+
+class TestFourCases:
+    def test_case1_ended_versions_move_to_history(self):
+        # A version updated at t=50: the t=10 version ends at 50 < 100.
+        page = page_with([stamped(b"A", b"v0", 10), stamped(b"A", b"v1", 50)])
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        assert out.moved == 1
+        history_payloads = [v.payload for v in out.history.chain(b"A")]
+        assert b"v0" in history_payloads
+
+    def test_case2_spanning_versions_in_both_pages(self):
+        """The redundancy that makes every page cover its full time range."""
+        page = page_with([stamped(b"A", b"v0", 10)])
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        assert out.copied == 1
+        assert out.current.head(b"A").payload == b"v0"
+        assert out.history.head(b"A").payload == b"v0"
+
+    def test_case3_versions_after_split_stay_current_only(self):
+        page = page_with([stamped(b"A", b"v0", 10), stamped(b"A", b"v1", 150)])
+        out = time_split_page(page, Timestamp(100, 0), history_page_id=2)
+        assert out.history.head(b"A").payload == b"v0"
+        current_payloads = [v.payload for v in out.current.chain(b"A")]
+        assert current_payloads[0] == b"v1"
+        assert b"v1" not in [v.payload for v in out.history.chain(b"A")]
+
+    def test_case4_uncommitted_stay_current_only(self):
+        uncommitted = RecordVersion.new(b"A", b"dirty", tid=5)
+        page = page_with([stamped(b"A", b"v0", 10)])
+        page.insert_version(uncommitted)
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        current_payloads = [v.payload for v in out.current.chain(b"A")]
+        assert b"dirty" in current_payloads
+        assert b"dirty" not in [v.payload for v in out.history.chain(b"A")]
+        # The committed version underneath spans: copied to both.
+        assert b"v0" in [v.payload for v in out.history.chain(b"A")]
+
+    def test_old_delete_stubs_leave_current_page(self):
+        """Figure 3: stubs before split time are removed from current."""
+        page = page_with([stamped(b"C", b"c0", 10)])
+        page.insert_version(stub(b"C", 50))
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        # Current page has no trace of C at all.
+        assert out.current.head(b"C") is None
+        # History has the version and the stub ending it.
+        hist = list(out.history.chain(b"C"))
+        assert hist[0].is_delete_stub
+        assert hist[1].payload == b"c0"
+
+    def test_recent_delete_stub_stays_current(self):
+        """Figure 3's record C: a stub after split time is current-only."""
+        page = page_with([stamped(b"C", b"c0", 10)])
+        page.insert_version(stub(b"C", 150))
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        assert out.current.head(b"C").is_delete_stub
+        assert not any(v.is_delete_stub for v in out.history.chain(b"C"))
+
+
+class TestPageMetadata:
+    def test_time_ranges_chain_correctly(self):
+        page = page_with([stamped(b"A", b"v0", 10)])
+        page.split_ts = Timestamp(5, 0)
+        page.history_page_id = 77  # pre-existing older history page
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        assert out.history.split_ts == Timestamp(5, 0)
+        assert out.history.end_ts == SPLIT
+        assert out.history.history_page_id == 77   # chain extends backwards
+        assert out.current.split_ts == SPLIT
+        assert out.current.history_page_id == 2
+
+    def test_history_page_is_marked_history(self):
+        page = page_with([stamped(b"A", b"v0", 10)])
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        assert out.history.is_history
+        assert not out.current.is_history
+
+    def test_spanning_version_vp_points_into_history(self):
+        page = page_with([stamped(b"A", b"v0", 10), stamped(b"A", b"v1", 50)])
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        tail = list(out.current.chain(b"A"))[-1]
+        assert tail.vp_in_history
+        slot = out.history.slot_of(b"A")
+        assert tail.vp == slot
+
+    def test_immortal_and_table_id_propagate(self):
+        page = page_with([stamped(b"A", b"v0", 10)])
+        out = time_split_page(page, SPLIT, history_page_id=2)
+        assert out.history.immortal and out.current.immortal
+        assert out.history.table_id == 1
+
+    def test_split_must_advance_time(self):
+        page = page_with([stamped(b"A", b"v0", 10)])
+        page.split_ts = SPLIT
+        with pytest.raises(AccessMethodError):
+            time_split_page(page, SPLIT, history_page_id=2)
+
+    def test_history_pages_never_split(self):
+        page = DataPage(1, is_history=True)
+        with pytest.raises(AccessMethodError):
+            time_split_page(page, SPLIT, history_page_id=2)
+
+
+class TestCoverageInvariant:
+    def test_every_page_contains_versions_alive_in_its_range(self):
+        """The essential point of Section 3.3."""
+        chain = [stamped(b"A", f"v{i}".encode(), 10 + i * 20) for i in range(6)]
+        page = page_with(chain)
+        out = time_split_page(page, Timestamp(75, 0), history_page_id=2)
+        # Versions alive at some t < 75 must be findable in the history page;
+        # versions alive at some t >= 75 in the current page.
+        for t in (10, 30, 50, 70):
+            alive = max(
+                (v for v in chain if v.timestamp <= Timestamp(t, 0)),
+                key=lambda v: v.timestamp,
+            )
+            hist_versions = {v.payload for v in out.history.chain(b"A")}
+            assert alive.payload in hist_versions, f"t={t}"
+        for t in (80, 100, 120):
+            alive = max(
+                (v for v in chain if v.timestamp <= Timestamp(t, 0)),
+                key=lambda v: v.timestamp,
+            )
+            cur_versions = {v.payload for v in out.current.chain(b"A")}
+            assert alive.payload in cur_versions, f"t={t}"
+
+
+class TestKeySplitPolicy:
+    def test_needs_key_split_thresholds_on_current_bytes(self):
+        page = DataPage(1, immortal=True)
+        # Many versions of one record: current-version bytes stay tiny.
+        for i in range(60):
+            page.insert_version(stamped(b"A", b"x" * 50, 10 + i))
+        assert not needs_key_split(page, 0.7)
+        # Many single-version records: everything is current.
+        page2 = DataPage(2, immortal=True)
+        for i in range(90):
+            page2.insert_version(stamped(f"k{i:04}".encode(), b"x" * 50, 10))
+        assert needs_key_split(page2, 0.5)
+
+
+class TestKeySplit:
+    def test_chains_move_whole(self):
+        page = page_with(
+            [stamped(b"A", b"a0", 10), stamped(b"A", b"a1", 20)],
+            [stamped(b"M", b"m0", 10)],
+            [stamped(b"Z", b"z0", 10), stamped(b"Z", b"z1", 30)],
+        )
+        left, right, sep = key_split_page(page, right_page_id=9)
+        assert left.page_id == 1 and right.page_id == 9
+        all_keys = sorted(left.keys() + right.keys())
+        assert all_keys == [b"A", b"M", b"Z"]
+        assert all(k < sep for k in left.keys())
+        assert all(k >= sep for k in right.keys())
+        # Chain integrity preserved on whichever side.
+        side = left if b"A" in left.keys() else right
+        assert [v.payload for v in side.chain(b"A")] == [b"a1", b"a0"]
+
+    def test_both_halves_share_history_pointer(self):
+        page = page_with([stamped(b"A", b"a", 10)], [stamped(b"B", b"b", 10)])
+        page.history_page_id = 55
+        page.split_ts = Timestamp(5, 0)
+        left, right, _ = key_split_page(page, right_page_id=9)
+        assert left.history_page_id == right.history_page_id == 55
+        assert left.split_ts == right.split_ts == Timestamp(5, 0)
+
+    def test_leaf_chain_threading(self):
+        page = page_with([stamped(b"A", b"a", 10)], [stamped(b"B", b"b", 10)])
+        page.next_leaf_id = 33
+        left, right, _ = key_split_page(page, right_page_id=9)
+        assert left.next_leaf_id == 9
+        assert right.next_leaf_id == 33
+
+    def test_single_key_page_cannot_split(self):
+        page = page_with([stamped(b"A", b"a", 10)])
+        with pytest.raises(AccessMethodError):
+            key_split_page(page, right_page_id=9)
+
+    def test_split_balances_bytes(self):
+        page = page_with(
+            *[[stamped(f"k{i:03}".encode(), b"x" * 40, 10)] for i in range(20)]
+        )
+        left, right, _ = key_split_page(page, right_page_id=9)
+        assert abs(left.used_bytes - right.used_bytes) < page.used_bytes / 3

@@ -1,0 +1,206 @@
+"""Tests for the lazy timestamping protocol (paper Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock, Timestamp
+from repro.errors import UnknownTransactionError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.storage.page import DataPage, decode_page
+from repro.storage.record import RecordVersion
+from repro.timestamp.manager import TimestampManager
+from repro.timestamp.ptt import PersistentTimestampTable
+from repro.wal.log import LogManager
+
+
+@pytest.fixture
+def env():
+    class Env:
+        def __init__(self):
+            self.disk = InMemoryDisk()
+            self.buffer = BufferPool(self.disk, capacity=64)
+            self.log = LogManager()
+            self.clock = SimClock()
+            self.ptt = PersistentTimestampTable(self.buffer)
+            self.tsmgr = TimestampManager(self.log, self.buffer, self.ptt)
+
+        def commit(self, tid: int, *, persistent: bool = True) -> Timestamp:
+            ts = self.clock.next_timestamp()
+            lsn = self.log.append(
+                __import__("repro.wal.records", fromlist=["CommitTxn"])
+                .CommitTxn(tid=tid, ttime=ts.ttime, sn=ts.sn, ptt=persistent)
+            )
+            self.log.force()
+            self.tsmgr.on_commit(tid, ts, lsn, persistent=persistent)
+            return ts
+
+    return Env()
+
+
+def new_page(env, *, immortal=True) -> DataPage:
+    return env.buffer.new_page(
+        lambda pid: DataPage(pid, immortal=immortal, table_id=1)
+    )
+
+
+class TestFourStages:
+    def test_commit_writes_single_ptt_entry(self, env):
+        env.tsmgr.on_begin(1)
+        for _ in range(5):
+            env.tsmgr.on_version_created(1, 1, 2, b"k")
+        ts = env.commit(1)
+        assert env.ptt.lookup(1) == ts
+        assert env.tsmgr.stats.ptt_inserts == 1
+
+    def test_resolve_active_transaction(self, env):
+        env.tsmgr.on_begin(1)
+        assert env.tsmgr.resolve(1) == (None, False)
+
+    def test_resolve_committed_from_vtt(self, env):
+        env.tsmgr.on_begin(1)
+        ts = env.commit(1)
+        assert env.tsmgr.resolve(1) == (ts, True)
+        assert env.tsmgr.stats.vtt_hits == 1
+
+    def test_resolve_falls_back_to_ptt_after_crash(self, env):
+        env.tsmgr.on_begin(1)
+        ts = env.commit(1)
+        env.tsmgr.rebuild_after_crash()   # VTT is volatile
+        assert env.tsmgr.resolve(1) == (ts, True)
+        assert env.tsmgr.stats.ptt_lookups == 1
+        # ... and the answer is now cached with undefined refcount.
+        assert env.tsmgr.vtt.get(1).refcount is None
+
+    def test_resolve_unknown_tid_raises(self, env):
+        with pytest.raises(UnknownTransactionError):
+            env.tsmgr.resolve(404)
+
+    def test_stamping_decrements_refcount(self, env):
+        page = new_page(env)
+        env.tsmgr.on_begin(1)
+        for key in (b"a", b"b"):
+            page.insert_version(RecordVersion.new(key, b"v", 1))
+            env.tsmgr.on_version_created(1, 1, page.page_id, key)
+        ts = env.commit(1)
+        assert env.tsmgr.stamp_page(page) == 2
+        assert page.head(b"a").timestamp == ts
+        entry = env.tsmgr.vtt.get(1)
+        assert entry.refcount == 0 and entry.done_lsn is not None
+
+    def test_stamping_skips_active_transactions(self, env):
+        page = new_page(env)
+        env.tsmgr.on_begin(1)
+        page.insert_version(RecordVersion.new(b"a", b"v", 1))
+        env.tsmgr.on_version_created(1, 1, page.page_id, b"a")
+        assert env.tsmgr.stamp_page(page) == 0
+        assert not page.head(b"a").is_timestamped
+
+
+class TestFlushTrigger:
+    def test_flush_stamps_committed_versions(self, env):
+        """Pages never reach disk with committed-but-unstamped records."""
+        page = new_page(env)
+        env.tsmgr.on_begin(1)
+        page.insert_version(RecordVersion.new(b"a", b"v", 1))
+        env.tsmgr.on_version_created(1, 1, page.page_id, b"a")
+        ts = env.commit(1)
+        env.buffer.flush_page(page.page_id)
+        decoded = decode_page(env.disk.read_page(page.page_id))
+        assert decoded.head(b"a").is_timestamped
+        assert decoded.head(b"a").timestamp == ts
+
+    def test_flush_leaves_active_tids_in_place(self, env):
+        page = new_page(env)
+        env.tsmgr.on_begin(1)
+        page.insert_version(RecordVersion.new(b"a", b"v", 1))
+        env.tsmgr.on_version_created(1, 1, page.page_id, b"a")
+        env.buffer.flush_page(page.page_id)
+        decoded = decode_page(env.disk.read_page(page.page_id))
+        assert not decoded.head(b"a").is_timestamped
+        assert decoded.head(b"a").tid == 1
+
+
+class TestGarbageCollection:
+    def _one_stamped_txn(self, env, tid: int):
+        page = new_page(env)
+        env.tsmgr.on_begin(tid)
+        page.insert_version(RecordVersion.new(b"a", b"v", tid))
+        env.tsmgr.on_version_created(tid, 1, page.page_id, b"a")
+        env.commit(tid)
+        env.tsmgr.stamp_page(page)
+        return page
+
+    def test_gc_waits_for_redo_scan_point(self, env):
+        self._one_stamped_txn(env, 1)
+        done_lsn = env.tsmgr.vtt.get(1).done_lsn
+        # Redo scan start point has not passed the done LSN yet: no GC.
+        assert env.tsmgr.garbage_collect(done_lsn) == 0
+        assert env.ptt.lookup(1) is not None
+        # Once it passes, the entry goes.
+        assert env.tsmgr.garbage_collect(done_lsn + 1) == 1
+        assert env.ptt.lookup(1) is None
+        assert 1 not in env.tsmgr.vtt
+
+    def test_gc_skips_entries_with_pending_stamps(self, env):
+        page = new_page(env)
+        env.tsmgr.on_begin(1)
+        page.insert_version(RecordVersion.new(b"a", b"v", 1))
+        env.tsmgr.on_version_created(1, 1, page.page_id, b"a")
+        env.commit(1)
+        # Not stamped yet: no done_lsn, never collected.
+        assert env.tsmgr.garbage_collect(10**9) == 0
+        assert env.ptt.lookup(1) is not None
+
+    def test_gc_logs_ptt_deletes(self, env):
+        from repro.wal.records import PTTDelete
+
+        self._one_stamped_txn(env, 1)
+        env.tsmgr.garbage_collect(env.log.end_lsn + 1)
+        deletes = [r for r in env.log.records_from(0) if isinstance(r, PTTDelete)]
+        assert [d.subject_tid for d in deletes] == [1]
+
+    def test_undefined_refcount_is_never_collected(self, env):
+        """Post-crash entries stay in the PTT forever (paper accepts this)."""
+        env.tsmgr.on_begin(1)
+        env.commit(1)
+        env.tsmgr.rebuild_after_crash()
+        env.tsmgr.resolve(1)  # caches with undefined refcount
+        assert env.tsmgr.garbage_collect(10**9) == 0
+        assert env.ptt.lookup(1) is not None
+
+
+class TestSnapshotTransactions:
+    def test_snapshot_txn_gets_no_ptt_entry(self, env):
+        env.tsmgr.on_begin(1, is_snapshot=True)
+        env.commit(1, persistent=False)
+        assert env.ptt.lookup(1) is None
+
+    def test_snapshot_entry_dropped_at_refcount_zero(self, env):
+        page = new_page(env, immortal=False)
+        env.tsmgr.on_begin(1, is_snapshot=True)
+        page.insert_version(RecordVersion.new(b"a", b"v", 1))
+        env.tsmgr.on_version_created(1, 1, page.page_id, b"a")
+        env.commit(1, persistent=False)
+        assert 1 in env.tsmgr.vtt
+        env.tsmgr.stamp_page(page)
+        # Paper: "we can drop the VTT entry for a snapshot transaction
+        # immediately upon its reference count going to zero."
+        assert 1 not in env.tsmgr.vtt
+
+
+class TestRecoveryFallback:
+    def test_conventional_pages_can_use_fallback(self, env):
+        page = new_page(env, immortal=False)
+        page.insert_version(RecordVersion.new(b"a", b"v", 77))
+        env.tsmgr.recovery_fallback = Timestamp(123, 0)
+        assert env.tsmgr.stamp_page(page) == 1
+        assert page.head(b"a").timestamp == Timestamp(123, 0)
+
+    def test_immortal_pages_never_fall_back(self, env):
+        page = new_page(env, immortal=True)
+        page.insert_version(RecordVersion.new(b"a", b"v", 77))
+        env.tsmgr.recovery_fallback = Timestamp(123, 0)
+        with pytest.raises(UnknownTransactionError):
+            env.tsmgr.stamp_page(page)

@@ -1,0 +1,201 @@
+"""Tests for the time-travel surface: range scans, diffs, inspection, SQL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB, TxnMode
+from repro.core.inspect import format_report, inspect_table
+from repro.errors import SQLExecutionError
+from repro.sql import Session
+
+
+COLS = [("k", ColumnType.INT), ("v", ColumnType.TEXT)]
+
+
+@pytest.fixture
+def db():
+    return ImmortalDB(buffer_pages=128)
+
+
+@pytest.fixture
+def table(db):
+    return db.create_table("t", COLS, key="k", immortal=True)
+
+
+class TestScanRange:
+    def _seed(self, db, table, n=50):
+        with db.transaction() as txn:
+            for k in range(n):
+                table.insert(txn, {"k": k, "v": f"v{k}"})
+
+    def test_closed_range(self, db, table):
+        self._seed(db, table)
+        with db.transaction() as txn:
+            rows = table.scan_range(txn, 10, 14)
+        assert [r["k"] for r in rows] == [10, 11, 12, 13, 14]
+
+    def test_open_ends(self, db, table):
+        self._seed(db, table)
+        with db.transaction() as txn:
+            assert [r["k"] for r in table.scan_range(txn, 47, None)] == \
+                [47, 48, 49]
+            assert [r["k"] for r in table.scan_range(txn, None, 2)] == \
+                [0, 1, 2]
+
+    def test_range_spanning_leaf_splits(self, db, table):
+        with db.transaction() as txn:
+            for k in range(400):
+                table.insert(txn, {"k": k, "v": "x" * 60})
+        assert table.btree.stats.key_splits >= 1
+        with db.transaction() as txn:
+            rows = table.scan_range(txn, 150, 250)
+        assert [r["k"] for r in rows] == list(range(150, 251))
+
+    def test_range_respects_snapshot_horizon(self, db, table):
+        self._seed(db, table, n=10)
+        reader = db.begin(TxnMode.SNAPSHOT)
+        with db.transaction() as txn:
+            table.update(txn, 5, {"v": "changed"})
+            table.delete(txn, 6)
+        rows = table.scan_range(reader, 4, 7)
+        assert [r["k"] for r in rows] == [4, 5, 6, 7]
+        assert rows[1]["v"] == "v5"
+        db.commit(reader)
+
+    def test_range_as_of(self, db, table):
+        self._seed(db, table, n=10)
+        mark = db.now()
+        db.advance_time(1000)
+        with db.transaction() as txn:
+            table.delete(txn, 3)
+        with db.transaction(as_of=mark) as historical:
+            rows = table.scan_range(historical, 2, 4)
+        assert [r["k"] for r in rows] == [2, 3, 4]
+
+    def test_empty_range(self, db, table):
+        self._seed(db, table, n=5)
+        with db.transaction() as txn:
+            assert table.scan_range(txn, 100, 200) == []
+
+
+class TestChangesBetween:
+    def test_diff_captures_all_change_kinds(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "same"})
+            table.insert(txn, {"k": 2, "v": "old"})
+            table.insert(txn, {"k": 3, "v": "doomed"})
+        t1 = db.now()
+        db.advance_time(1000)
+        with db.transaction() as txn:
+            table.update(txn, 2, {"v": "new"})
+            table.delete(txn, 3)
+            table.insert(txn, {"k": 4, "v": "born"})
+        t2 = db.now()
+        diff = table.changes_between(t1, t2)
+        assert set(diff) == {2, 3, 4}
+        assert diff[2] == ({"k": 2, "v": "old"}, {"k": 2, "v": "new"})
+        assert diff[3][1] is None
+        assert diff[4][0] is None and diff[4][1]["v"] == "born"
+
+    def test_no_changes_empty_diff(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "x"})
+        t1 = db.now()
+        db.advance_time(1000)
+        t2 = db.now()
+        assert table.changes_between(t1, t2) == {}
+
+    def test_reversed_bounds_rejected(self, db, table):
+        t1 = db.now()
+        db.advance_time(1000)
+        t2 = db.now()
+        with pytest.raises(SQLExecutionError):
+            table.changes_between(t2, t1)
+
+
+class TestInspection:
+    def test_counts_match_reality(self, db, table):
+        with db.transaction() as txn:
+            for k in range(30):
+                table.insert(txn, {"k": k, "v": "x" * 40})
+        for r in range(80):
+            db.advance_time(500)
+            with db.transaction() as txn:
+                table.update(txn, r % 30, {"v": f"{r}" + "y" * 40})
+        with db.transaction() as txn:
+            table.delete(txn, 0)
+        with db.transaction() as txn:
+            table.read(txn, 1)  # stamping trigger
+
+        info = inspect_table(table)
+        assert info.table_name == "t"
+        assert info.immortal
+        assert info.live_records == 29
+        assert info.current_pages >= 1
+        assert info.history_pages == table.btree.stats.time_splits
+        assert info.delete_stubs >= 1
+        assert info.total_versions >= 111   # 30 + 80 + 1 stub (+ copies)
+        assert info.oldest_version is not None
+        assert info.oldest_version < info.newest_version
+        assert 0 < info.timeslice_utilization <= info.current_utilization <= 1
+
+    def test_redundant_copies_counted(self, db, table):
+        """Case-2 spanning duplicates show up once splits happen."""
+        with db.transaction() as txn:
+            for k in range(20):
+                table.insert(txn, {"k": k, "v": "x" * 100})
+        for r in range(200):
+            db.advance_time(500)
+            with db.transaction() as txn:
+                table.update(txn, r % 20, {"v": f"{r}" + "y" * 100})
+        info = inspect_table(table)
+        assert info.history_pages >= 1
+        assert info.redundant_copies >= 1
+
+    def test_report_renders(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "a"})
+        report = format_report(inspect_table(table))
+        assert "table 't'" in report
+        assert "immortal" in report
+
+
+class TestSelectHistorySQL:
+    def _session(self, db):
+        session = Session(db)
+        session.execute(
+            "CREATE IMMORTAL TABLE T (k INT PRIMARY KEY, v TEXT)"
+        )
+        session.execute("INSERT INTO T VALUES (1, 'first')")
+        db.advance_time(60_000)
+        session.execute("UPDATE T SET v = 'second' WHERE k = 1")
+        db.advance_time(60_000)
+        session.execute("DELETE FROM T WHERE k = 1")
+        return session
+
+    def test_history_returns_all_versions(self, db):
+        session = self._session(db)
+        rows = session.execute("SELECT HISTORY OF T WHERE k = 1").rows
+        assert len(rows) == 3
+        assert rows[0]["v"] == "first" and not rows[0]["_deleted"]
+        assert rows[1]["v"] == "second"
+        assert rows[2]["_deleted"]
+
+    def test_history_with_time_bounds(self, db):
+        session = self._session(db)
+        rows = session.execute(
+            "SELECT HISTORY OF T WHERE k = 1 "
+            "FROM '2006-01-01 00:00:30' TO '2006-01-01 00:01:30'"
+        ).rows
+        assert len(rows) == 1
+        assert rows[0]["v"] == "second"
+
+    def test_history_needs_key_equality(self, db):
+        session = self._session(db)
+        with pytest.raises(SQLExecutionError):
+            session.execute("SELECT HISTORY OF T WHERE v = 'first'")
+
+    def test_history_of_missing_key_is_empty(self, db):
+        session = self._session(db)
+        assert session.execute("SELECT HISTORY OF T WHERE k = 99").rows == []

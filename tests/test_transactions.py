@@ -1,0 +1,207 @@
+"""Tests for transaction management: commit order, rollback, late choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB, TxnMode
+from repro.errors import (
+    KeyNotFoundError,
+    LockConflictError,
+    ReadOnlyTransactionError,
+    TransactionStateError,
+)
+
+
+@pytest.fixture
+def db():
+    return ImmortalDB(buffer_pages=64)
+
+
+@pytest.fixture
+def table(db):
+    return db.create_table(
+        "t", columns=[("k", ColumnType.INT), ("v", ColumnType.TEXT)],
+        key="k", immortal=True,
+    )
+
+
+class TestCommit:
+    def test_commit_returns_timestamp(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "a"})
+        ts = db.commit(txn)
+        assert ts is not None
+
+    def test_timestamp_order_equals_commit_order(self, db, table):
+        """The paper's late-choice guarantee (Section 2.1)."""
+        t1 = db.begin()
+        t2 = db.begin()
+        table.insert(t1, {"k": 1, "v": "a"})
+        table.insert(t2, {"k": 2, "v": "b"})
+        # t2 commits first even though it began second.
+        ts2 = db.commit(t2)
+        ts1 = db.commit(t1)
+        assert ts2 < ts1
+
+    def test_read_only_commit_has_no_timestamp(self, db, table):
+        txn = db.begin()
+        assert table.read(txn, 1) is None
+        assert db.commit(txn) is None
+
+    def test_read_only_commit_writes_no_log(self, db, table):
+        before = db.log.stats.appends
+        txn = db.begin()
+        table.read(txn, 1)
+        db.commit(txn)
+        assert db.log.stats.appends == before
+
+    def test_commit_forces_the_log(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "a"})
+        db.commit(txn)
+        assert db.log.flushed_lsn == db.log.end_lsn
+
+    def test_operations_after_commit_rejected(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "a"})
+        db.commit(txn)
+        with pytest.raises(TransactionStateError):
+            table.insert(txn, {"k": 2, "v": "b"})
+
+    def test_commit_releases_locks(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "a"})
+        db.commit(txn)
+        assert db.locks.locks_held(txn.tid) == 0
+
+
+class TestRollback:
+    def test_abort_removes_inserted_record(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "gone"})
+        db.abort(txn)
+        with db.transaction() as reader:
+            assert table.read(reader, 1) is None
+
+    def test_abort_restores_previous_version(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "original"})
+        txn = db.begin()
+        table.update(txn, 1, {"v": "doomed"})
+        table.update(txn, 1, {"v": "also doomed"})
+        db.abort(txn)
+        with db.transaction() as reader:
+            assert table.read(reader, 1)["v"] == "original"
+
+    def test_abort_undoes_delete(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "keep"})
+        txn = db.begin()
+        table.delete(txn, 1)
+        db.abort(txn)
+        with db.transaction() as reader:
+            assert table.read(reader, 1)["v"] == "keep"
+
+    def test_abort_writes_clrs_and_abort_end(self, db, table):
+        from repro.wal.records import AbortEnd, CompensationRecord
+
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "x"})
+        table.insert(txn, {"k": 2, "v": "y"})
+        db.abort(txn)
+        records = list(db.log.records_from(0))
+        clrs = [r for r in records if isinstance(r, CompensationRecord)]
+        ends = [r for r in records if isinstance(r, AbortEnd)]
+        assert len(clrs) == 2
+        assert len(ends) == 1
+
+    def test_aborted_txn_leaves_no_trace_in_history(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "v1"})
+        txn = db.begin()
+        table.update(txn, 1, {"v": "aborted"})
+        db.abort(txn)
+        assert len(table.history(1)) == 1
+
+    def test_context_manager_aborts_on_exception(self, db, table):
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                table.insert(txn, {"k": 5, "v": "x"})
+                raise RuntimeError("boom")
+        with db.transaction() as reader:
+            assert table.read(reader, 5) is None
+
+
+class TestIsolationSerializable:
+    def test_write_write_conflict_detected(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "a"})
+        t1 = db.begin()
+        t2 = db.begin()
+        table.update(t1, 1, {"v": "t1"})
+        with pytest.raises(LockConflictError):
+            table.update(t2, 1, {"v": "t2"})
+        db.commit(t1)
+        db.abort(t2)
+
+    def test_read_write_conflict_detected(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "a"})
+        reader = db.begin()
+        table.read(reader, 1)
+        writer = db.begin()
+        with pytest.raises(LockConflictError):
+            table.update(writer, 1, {"v": "nope"})
+        db.commit(reader)
+        db.abort(writer)
+
+    def test_own_writes_visible_before_commit(self, db, table):
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "mine"})
+        assert table.read(txn, 1)["v"] == "mine"
+        table.update(txn, 1, {"v": "mine-2"})
+        assert table.read(txn, 1)["v"] == "mine-2"
+        db.commit(txn)
+
+
+class TestAsOfTransactions:
+    def test_as_of_transactions_are_read_only(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "a"})
+        historical = db.begin(as_of=db.now())
+        with pytest.raises(ReadOnlyTransactionError):
+            table.insert(historical, {"k": 2, "v": "b"})
+        db.commit(historical)
+
+    def test_as_of_requires_timestamp(self, db):
+        with pytest.raises(TransactionStateError):
+            db.txn_mgr.begin(TxnMode.AS_OF)
+
+    def test_as_of_sees_past_state(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "old"})
+        past = db.now()
+        db.advance_time(1000)
+        with db.transaction() as txn:
+            table.update(txn, 1, {"v": "new"})
+        with db.transaction(as_of=past) as historical:
+            assert table.read(historical, 1)["v"] == "old"
+
+
+class TestTidManagement:
+    def test_tids_ascend(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        assert t2.tid > t1.tid
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_tid_floor_after_recovery(self, db, table):
+        with db.transaction() as txn:
+            table.insert(txn, {"k": 1, "v": "a"})
+        used = txn.tid
+        db.crash_and_recover()
+        fresh = db.begin()
+        assert fresh.tid > used
+        db.commit(fresh)

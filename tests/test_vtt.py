@@ -1,0 +1,116 @@
+"""Tests for the Volatile Timestamp Table and its RefCount protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SN_INVALID, Timestamp
+from repro.errors import NotYetCommittedError, UnknownTransactionError
+from repro.timestamp.vtt import VolatileTimestampTable
+
+
+@pytest.fixture
+def vtt():
+    return VolatileTimestampTable()
+
+
+TS = Timestamp(100, 1)
+
+
+class TestStages:
+    def test_stage_one_entry_is_active_with_invalid_sn(self, vtt):
+        entry = vtt.begin(1)
+        assert entry.is_active
+        assert entry.sn == SN_INVALID
+        assert entry.refcount == 0
+
+    def test_stage_two_increments_refcount(self, vtt):
+        vtt.begin(1)
+        vtt.increment(1)
+        vtt.increment(1)
+        assert vtt.get(1).refcount == 2
+
+    def test_stage_three_records_timestamp(self, vtt):
+        vtt.begin(1)
+        vtt.increment(1)
+        entry = vtt.set_committed(1, TS, end_lsn=500)
+        assert not entry.is_active
+        assert entry.timestamp == TS
+        assert entry.done_lsn is None  # one version still unstamped
+
+    def test_commit_with_nothing_to_stamp_is_done_immediately(self, vtt):
+        vtt.begin(1)
+        entry = vtt.set_committed(1, TS, end_lsn=500)
+        assert entry.done_lsn == 500
+
+    def test_stage_four_decrement_to_zero_records_lsn(self, vtt):
+        vtt.begin(1)
+        vtt.increment(1)
+        vtt.increment(1)
+        vtt.set_committed(1, TS, end_lsn=10)
+        assert vtt.decrement(1, end_lsn=20) == 1
+        assert vtt.get(1).done_lsn is None
+        assert vtt.decrement(1, end_lsn=30) == 0
+        assert vtt.get(1).done_lsn == 30
+
+    def test_timestamp_of_active_entry_fails(self, vtt):
+        vtt.begin(1)
+        with pytest.raises(NotYetCommittedError):
+            _ = vtt.get(1).timestamp
+
+
+class TestEdgeCases:
+    def test_duplicate_begin_rejected(self, vtt):
+        vtt.begin(1)
+        with pytest.raises(ValueError):
+            vtt.begin(1)
+
+    def test_refcount_underflow_rejected(self, vtt):
+        vtt.begin(1)
+        vtt.set_committed(1, TS, end_lsn=1)
+        with pytest.raises(ValueError):
+            vtt.decrement(1, end_lsn=2)
+
+    def test_unknown_tid_raises(self, vtt):
+        with pytest.raises(UnknownTransactionError):
+            vtt.require(99)
+        assert vtt.get(99) is None
+
+    def test_cached_from_ptt_has_undefined_refcount(self, vtt):
+        entry = vtt.cache_from_ptt(5, TS)
+        assert entry.refcount is None
+        vtt.increment(5)   # stays undefined
+        assert vtt.get(5).refcount is None
+        assert vtt.decrement(5, end_lsn=1) is None
+
+    def test_drop_is_idempotent(self, vtt):
+        vtt.begin(1)
+        vtt.drop(1)
+        vtt.drop(1)
+        assert 1 not in vtt
+
+
+class TestGCCandidates:
+    def test_only_complete_entries_qualify(self, vtt):
+        vtt.begin(1)                       # active: no
+        vtt.begin(2)
+        vtt.increment(2)
+        vtt.set_committed(2, TS, end_lsn=5)  # refcount 1: no
+        vtt.begin(3)
+        vtt.set_committed(3, TS, end_lsn=7)  # done: yes
+        vtt.cache_from_ptt(4, TS)            # undefined: no
+        assert [tid for tid, _ in vtt.gc_candidates()] == [3]
+
+    def test_decrement_to_zero_becomes_candidate(self, vtt):
+        vtt.begin(1)
+        vtt.increment(1)
+        vtt.set_committed(1, TS, end_lsn=5)
+        assert vtt.gc_candidates() == []
+        vtt.decrement(1, end_lsn=9)
+        assert [tid for tid, _ in vtt.gc_candidates()] == [1]
+
+    def test_clear_simulates_crash(self, vtt):
+        vtt.begin(1)
+        vtt.set_committed(1, TS, end_lsn=1)
+        vtt.clear()
+        assert len(vtt) == 0
