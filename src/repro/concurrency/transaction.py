@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.clock import SimClock, Timestamp
 from repro.errors import ReadOnlyTransactionError, TransactionStateError
 from repro.concurrency.locks import LockManager
+from repro.faults.failpoints import fire
 from repro.timestamp.manager import TimestampManager
 from repro.wal.log import LogManager
 from repro.wal.records import (
@@ -176,6 +177,7 @@ class TransactionManager:
             self._finish(txn)
             return None
 
+        fire("txn.commit.begin")
         # Late choice: the timestamp is drawn now, when serialization order
         # is settled, guaranteeing timestamp order == serialization order —
         # unless CURRENT TIME already pinned one (validated at every access).
@@ -193,13 +195,16 @@ class TransactionManager:
                 ptt=txn.touched_immortal,
             )
         )
+        fire("txn.commit.force")      # commit record appended, not yet durable
         self.log.force(commit_lsn)
+        fire("txn.commit.stamp")      # durable, VTT/PTT transition still pending
         self.tsmgr.on_commit(
             txn.tid, ts, commit_lsn, persistent=txn.touched_immortal
         )
         txn.state = TxnState.COMMITTED
         self._finish(txn)
         self.commits += 1
+        fire("txn.commit.done")
         return ts
 
     # -- abort ----------------------------------------------------------------------
@@ -208,6 +213,7 @@ class TransactionManager:
         """Roll back every update via the log backchain, writing CLRs."""
         txn.require_active()
         if not txn.is_read_only:
+            fire("txn.abort.begin")
             self.log.append(AbortTxn(tid=txn.tid, prev_lsn=txn.last_lsn))
             lsn = txn.last_lsn
             prev_clr = 0

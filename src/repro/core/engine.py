@@ -29,6 +29,7 @@ from repro.core.catalog import Catalog, ColumnDef, TableSchema
 from repro.core.rowcodec import ColumnType
 from repro.core.table import Table
 from repro.errors import CatalogError, SchemaError, TableNotFoundError
+from repro.faults.failpoints import fire
 from repro.storage.buffer import BufferPool
 from repro.storage.constants import META_PAGE_ID, PAGE_SIZE
 from repro.storage.disk import FileDisk, InMemoryDisk, PageStore
@@ -60,12 +61,18 @@ class ImmortalDB:
         key_split_threshold: float = 0.70,
         ms_per_commit: float = 5.0,
         clock: SimClock | None = None,
+        disk: PageStore | None = None,
+        page_checksums: bool = False,
     ) -> None:
         if timestamping not in ("lazy", "eager"):
             raise ValueError("timestamping must be 'lazy' or 'eager'")
-        self.disk: PageStore = (
+        if disk is not None and path is not None:
+            raise ValueError("pass either a path or a disk, not both")
+        # An injected disk (e.g. a fault-model wrapper) takes precedence.
+        self.disk: PageStore = disk if disk is not None else (
             FileDisk(path, page_size) if path else InMemoryDisk(page_size)
         )
+        self.disk.checksums = page_checksums
         self.clock = clock or SimClock(ms_per_timestamp=ms_per_commit)
         # File-backed databases get a file-backed log, so a process that
         # dies without close() recovers on the next open.
@@ -115,6 +122,7 @@ class ImmortalDB:
 
     def _save_meta(self) -> None:
         """Write the boot page through to disk (durable immediately)."""
+        fire("engine.save_meta")
         self.catalog.ptt_root_pid = self.ptt.root_pid
         meta = MetaPage(
             META_PAGE_ID, self.catalog.to_blob(), page_size=self.disk.page_size

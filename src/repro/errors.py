@@ -45,6 +45,19 @@ class LatchError(StorageError):
     """Incompatible latch request on a page frame."""
 
 
+class ChecksumError(StorageError):
+    """A page image failed its CRC32 verification on read.
+
+    Raised only when page checksums are enabled (``page_checksums=True`` on
+    the engine); it turns silent media corruption — torn writes, bit-rot —
+    into a typed, catchable failure instead of downstream chain damage.
+    """
+
+
+class InjectedIOError(StorageError):
+    """A fault model injected a transient I/O failure (read or write)."""
+
+
 # ---------------------------------------------------------------------------
 # Write-ahead log / recovery
 # ---------------------------------------------------------------------------

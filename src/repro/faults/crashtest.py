@@ -1,0 +1,353 @@
+"""Crash-point exploration: crash everywhere, recover, verify — repeatably.
+
+The harness answers the paper's hardest question empirically: does lazy
+timestamping (whose persistence is *never* logged) plus ARIES-style
+recovery keep the database — current state **and** history — correct when
+the process dies at an arbitrary instruction, not just at a quiescent
+transaction boundary?
+
+Protocol:
+
+1. **Enumerate** — run a seeded workload once with a tracing
+   :class:`~repro.faults.failpoints.FailpointRegistry` installed, recording
+   every failpoint crossing (commit stages, log appends/forces, buffer
+   flushes/evictions, checkpoint phases, page writes).
+2. **Explore** — for each crossing *k*, re-run the identical workload from
+   scratch, crash (raise ``SimulatedCrash``) at crossing *k*, then run
+   ``db.crash()`` / ``db.recover()`` and check:
+
+   * ``verify_integrity(db, strict=True)`` stays clean;
+   * the current state equals the shadow oracle's committed model (with the
+     one permitted ambiguity: a transaction whose commit record may or may
+     not have become durable before the crash);
+   * every as-of mark captured before the crash still reproduces exactly.
+
+3. **Replay** — any failure prints a one-line repro command carrying only
+   the seed and the crossing index.
+
+Run it: ``PYTHONPATH=src python -m repro.faults.crashtest --seed 0``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.clock import Timestamp
+from repro.core.engine import ImmortalDB
+from repro.core.integrity import IntegrityError, verify_integrity
+from repro.core.rowcodec import ColumnType
+from repro.core.table import Table
+from repro.faults.failpoints import FailpointRegistry, SimulatedCrash, installed
+
+TABLE = "crash"
+
+
+@dataclass(frozen=True)
+class CrashTestConfig:
+    """One deterministic workload: everything derives from the seed."""
+
+    seed: int = 0
+    # The defaults are sized so one run crosses every interesting seam:
+    # ~700-byte rows over 24 hot keys force time splits, a key split, and a
+    # root growth, and 8 buffer frames force mid-transaction evictions.
+    transactions: int = 90
+    keys: int = 24
+    checkpoint_every: int = 7
+    mark_every: int = 5
+    buffer_pages: int = 8
+    value_pad: int = 700
+
+    def repro_args(self, crossing: int) -> str:
+        parts = [f"--seed {self.seed}"]
+        if self.transactions != CrashTestConfig.transactions:
+            parts.append(f"--transactions {self.transactions}")
+        if self.keys != CrashTestConfig.keys:
+            parts.append(f"--keys {self.keys}")
+        parts.append(f"--crash-point {crossing}")
+        return " ".join(parts)
+
+
+class ShadowOracle:
+    """Pure-Python model of what must survive a crash.
+
+    ``committed`` tracks driver-observed commits; ``pending`` the single
+    in-flight mutation.  A crash inside commit processing leaves exactly two
+    legal outcomes (commit record durable or not), so acceptance is "current
+    state ∈ {committed, committed+pending}".  As-of marks are only taken
+    between transactions, so they must always reproduce exactly.
+    """
+
+    def __init__(self) -> None:
+        self.committed: dict[int, str] = {}
+        self.marks: list[tuple[Timestamp, dict[int, str]]] = []
+        self.pending: dict[int, str | None] | None = None
+
+    def begin(self, mutation: dict[int, str | None]) -> None:
+        self.pending = mutation
+
+    def commit_observed(self) -> None:
+        assert self.pending is not None
+        self._apply(self.committed, self.pending)
+        self.pending = None
+
+    def mark(self, ts: Timestamp) -> None:
+        self.marks.append((ts, dict(self.committed)))
+
+    @staticmethod
+    def _apply(state: dict[int, str], mutation: dict[int, str | None]) -> None:
+        for key, value in mutation.items():
+            if value is None:
+                state.pop(key, None)
+            else:
+                state[key] = value
+
+    def acceptable_states(self) -> list[dict[int, str]]:
+        states = [dict(self.committed)]
+        if self.pending is not None:
+            extra = dict(self.committed)
+            self._apply(extra, self.pending)
+            if extra != states[0]:
+                states.append(extra)
+        return states
+
+
+def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
+    """A fresh in-memory database with the harness table (not yet armed)."""
+    db = ImmortalDB(buffer_pages=config.buffer_pages)
+    table = db.create_table(
+        TABLE,
+        [("k", ColumnType.INT), ("v", ColumnType.TEXT)],
+        key="k",
+        immortal=True,
+    )
+    return db, table
+
+
+def run_workload(
+    db: ImmortalDB, table: Table, config: CrashTestConfig, oracle: ShadowOracle
+) -> None:
+    """The seeded single-writer workload; identical run-to-run by design.
+
+    Explicit begin/commit (never ``with db.transaction()``): the context
+    manager's exception path would *abort* the transaction after a
+    simulated crash — post-mortem work a real dead process cannot do.
+    """
+    rng = random.Random(config.seed)
+    for i in range(config.transactions):
+        db.advance_time(rng.uniform(5.0, 250.0))
+        key = rng.randrange(config.keys)
+        delete = key in oracle.committed and rng.random() < 0.2
+        value = None if delete \
+            else f"s{config.seed}i{i}" + "x" * rng.randrange(config.value_pad)
+        oracle.begin({key: value})
+        txn = db.begin()
+        if value is None:
+            table.delete(txn, key)
+        elif key in oracle.committed:
+            table.update(txn, key, {"v": value})
+        else:
+            table.insert(txn, {"k": key, "v": value})
+        db.commit(txn)
+        oracle.commit_observed()
+        if i % config.mark_every == config.mark_every - 1:
+            oracle.mark(db.now())
+        if i % config.checkpoint_every == config.checkpoint_every - 1:
+            db.checkpoint(flush=(i // config.checkpoint_every) % 2 == 0)
+
+
+def enumerate_crossings(config: CrashTestConfig) -> list[str]:
+    """Run the workload once, uncrashed; return every crossing's name."""
+    db, table = build_db(config)
+    registry = FailpointRegistry()
+    registry.trace_on()
+    with installed(registry):
+        run_workload(db, table, config, ShadowOracle())
+    assert registry.trace is not None
+    return registry.trace
+
+
+@dataclass
+class CrashReport:
+    """Outcome of crashing at one crossing and recovering."""
+
+    crossing: int
+    name: str
+    crashed: bool
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _current_state(db: ImmortalDB, table: Table) -> dict[int, str]:
+    txn = db.begin()
+    got = {row["k"]: row["v"] for row in table.scan(txn)}
+    db.commit(txn)
+    return got
+
+
+def replay_crash_point(config: CrashTestConfig, crossing: int) -> CrashReport:
+    """Crash at one crossing, recover, and verify every invariant."""
+    db, table = build_db(config)
+    oracle = ShadowOracle()
+    registry = FailpointRegistry()
+    registry.crash_at(crossing)
+    crashed = False
+    name = "<workload end>"
+    try:
+        with installed(registry):
+            run_workload(db, table, config, oracle)
+    except SimulatedCrash as crash:
+        crashed = True
+        name = crash.name
+    report = CrashReport(crossing=crossing, name=name, crashed=crashed)
+    if not crashed:
+        report.problems.append(
+            f"crossing {crossing} was never reached "
+            f"(workload has {registry.crossings} crossings)"
+        )
+        return report
+
+    db.crash()
+    db.recover()
+    table = db.table(TABLE)
+
+    try:
+        verify_integrity(db, strict=True)
+    except IntegrityError as exc:
+        report.problems.append(f"integrity: {exc}")
+
+    got = _current_state(db, table)
+    acceptable = oracle.acceptable_states()
+    if got not in acceptable:
+        report.problems.append(
+            f"current-state divergence: recovered {got!r}, "
+            f"acceptable {acceptable!r}"
+        )
+    for ts, snapshot in oracle.marks:
+        as_of = {row["k"]: row["v"] for row in table.scan_as_of(ts)}
+        if as_of != snapshot:
+            report.problems.append(
+                f"as-of divergence at {ts}: recovered {as_of!r}, "
+                f"expected {snapshot!r}"
+            )
+    return report
+
+
+@dataclass
+class ExplorationResult:
+    config: CrashTestConfig
+    total_crossings: int
+    explored: list[int]
+    failures: list[CrashReport]
+    by_name: Counter
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _sample(total: int, max_points: int) -> list[int]:
+    """Up to ``max_points`` crossing indices, evenly spread over the run."""
+    if max_points <= 0 or total <= max_points:
+        return list(range(total))
+    step = (total - 1) / (max_points - 1)
+    return sorted({round(i * step) for i in range(max_points)})
+
+
+def explore(
+    config: CrashTestConfig,
+    *,
+    max_points: int = 0,
+    progress=None,
+) -> ExplorationResult:
+    """Enumerate crossings, then crash-and-verify at each (or a sample)."""
+    names = enumerate_crossings(config)
+    indices = _sample(len(names), max_points)
+    failures: list[CrashReport] = []
+    by_name: Counter = Counter(names[i] for i in indices)
+    for n, crossing in enumerate(indices):
+        report = replay_crash_point(config, crossing)
+        if not report.ok:
+            failures.append(report)
+        if progress is not None:
+            progress(n + 1, len(indices), report)
+    return ExplorationResult(
+        config=config,
+        total_crossings=len(names),
+        explored=indices,
+        failures=failures,
+        by_name=by_name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.crashtest",
+        description="Crash at every failpoint crossing; recover; verify.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--transactions", type=int,
+                        default=CrashTestConfig.transactions)
+    parser.add_argument("--keys", type=int, default=CrashTestConfig.keys)
+    parser.add_argument(
+        "--max-points", type=int, default=0,
+        help="explore at most N crossings, evenly sampled (0 = all)",
+    )
+    parser.add_argument(
+        "--crash-point", type=int, default=None,
+        help="replay a single crossing index (the repro mode)",
+    )
+    args = parser.parse_args(argv)
+    config = CrashTestConfig(
+        seed=args.seed, transactions=args.transactions, keys=args.keys
+    )
+
+    if args.crash_point is not None:
+        report = replay_crash_point(config, args.crash_point)
+        print(f"crossing {report.crossing} ({report.name}): "
+              f"{'OK' if report.ok else 'FAIL'}")
+        for problem in report.problems:
+            print(f"  {problem}")
+        return 0 if report.ok else 1
+
+    seen_failures: list[CrashReport] = []
+
+    def progress(done: int, total: int, report: CrashReport) -> None:
+        if not report.ok:
+            seen_failures.append(report)
+        if done % 50 == 0 or done == total:
+            print(f"  explored {done}/{total} crash points "
+                  f"({len(seen_failures)} failures)")
+
+    result = explore(config, max_points=args.max_points, progress=progress)
+
+    print(f"seed {config.seed}: {result.total_crossings} crossings enumerated, "
+          f"{len(result.explored)} explored")
+    seams = Counter(name.split(".")[0] for name in result.by_name.elements())
+    print("  by seam: " + ", ".join(
+        f"{seam}={count}" for seam, count in sorted(seams.items())
+    ))
+    if result.ok:
+        print("  zero integrity or as-of-equivalence violations")
+        return 0
+    for report in result.failures:
+        print(f"FAIL crossing {report.crossing} ({report.name}): "
+              f"{report.problems[0]}")
+        print(f"  repro: PYTHONPATH=src python -m repro.faults.crashtest "
+              f"{config.repro_args(report.crossing)}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

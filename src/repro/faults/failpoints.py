@@ -1,0 +1,181 @@
+"""Failpoints: named, deterministic fault-trigger points.
+
+The engine's hot seams call ``fire("seam.name")``.  With no registry
+installed that is a global load and a ``None`` check — it performs no I/O,
+touches no counters, and therefore cannot perturb the benchmark cost model.
+With a registry installed, every crossing is counted (globally and
+per-name) and matched against the armed rules:
+
+* ``crash_at(k)`` — raise :class:`SimulatedCrash` at the *k*-th global
+  crossing, whatever its name.  This is the primitive the crash-point
+  exploration harness replays failures with.
+* ``crash_on(name, hit=n)`` — crash the *n*-th time a named point fires.
+* ``on(name, action, hit=..., probability=...)`` — run an arbitrary action;
+  ``probability`` draws from the registry's seeded RNG, so a given seed
+  always produces the same fire schedule over the same workload.
+
+:class:`SimulatedCrash` deliberately derives from :class:`BaseException`,
+not :class:`Exception`: a failpoint crash models an instant process kill,
+and no ``except Exception`` handler inside the engine may absorb it — just
+as no handler survives a power failure.  Harness code catches it by name at
+the top level, then runs ``db.crash()`` / ``db.recover()``.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+class SimulatedCrash(BaseException):
+    """An armed failpoint fired: treat the process as killed right here."""
+
+    def __init__(self, crossing: int, name: str) -> None:
+        super().__init__(f"simulated crash at crossing {crossing} ({name})")
+        self.crossing = crossing
+        self.name = name
+
+
+@dataclass(frozen=True)
+class FireEvent:
+    """What an action sees: which point fired, and when."""
+
+    name: str
+    crossing: int   # 0-based global crossing index across all failpoints
+    hit: int        # 1-based per-name hit count
+
+
+Action = Callable[[FireEvent], None]
+
+
+def crash_action(event: FireEvent) -> None:
+    """The standard action: kill the process at this crossing."""
+    raise SimulatedCrash(event.crossing, event.name)
+
+
+@dataclass
+class _Rule:
+    name: str                      # exact failpoint name, or "*" for any
+    action: Action
+    hit: int | None = None         # fire only on this per-name hit count
+    probability: float | None = None   # else fire with this seeded chance
+    once: bool = False             # disarm after the first firing
+    spent: bool = False
+
+    def wants(self, event: FireEvent, rng: random.Random) -> bool:
+        if self.spent:
+            return False
+        if self.name != "*" and self.name != event.name:
+            return False
+        if self.hit is not None and event.hit != self.hit:
+            return False
+        if self.probability is not None and rng.random() >= self.probability:
+            return False
+        return True
+
+
+class FailpointRegistry:
+    """Counts failpoint crossings and runs the rules armed on them."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.rng = random.Random(seed)
+        self.hits: dict[str, int] = {}
+        self.crossings = 0
+        self.trace: list[str] | None = None
+        self._crash_at: int | None = None
+        self._rules: list[_Rule] = []
+
+    # -- arming -------------------------------------------------------------
+
+    def trace_on(self) -> None:
+        """Record every crossing's name, in order (enumeration mode)."""
+        self.trace = []
+
+    def crash_at(self, crossing: int) -> None:
+        """Arm a one-shot crash at a global crossing index."""
+        self._crash_at = crossing
+
+    def crash_on(self, name: str, *, hit: int = 1) -> None:
+        """Arm a one-shot crash on the ``hit``-th firing of ``name``."""
+        self.on(name, crash_action, hit=hit, once=True)
+
+    def on(
+        self,
+        name: str,
+        action: Action,
+        *,
+        hit: int | None = None,
+        probability: float | None = None,
+        once: bool = False,
+    ) -> None:
+        """Arm an arbitrary action on a named point (``"*"`` = any point)."""
+        self._rules.append(
+            _Rule(name=name, action=action, hit=hit,
+                  probability=probability, once=once)
+        )
+
+    def disarm(self) -> None:
+        """Drop every armed rule (counters and trace are kept)."""
+        self._crash_at = None
+        self._rules.clear()
+
+    # -- firing -------------------------------------------------------------
+
+    def fire(self, name: str) -> None:
+        hit = self.hits.get(name, 0) + 1
+        self.hits[name] = hit
+        crossing = self.crossings
+        self.crossings += 1
+        if self.trace is not None:
+            self.trace.append(name)
+        if self._crash_at is not None and crossing == self._crash_at:
+            self._crash_at = None
+            raise SimulatedCrash(crossing, name)
+        if not self._rules:
+            return
+        event = FireEvent(name, crossing, hit)
+        for rule in self._rules:
+            if rule.wants(event, self.rng):
+                if rule.once:
+                    rule.spent = True
+                rule.action(event)
+
+
+# ---------------------------------------------------------------------------
+# Global installation: the engine's seams call the module-level fire().
+# ---------------------------------------------------------------------------
+
+_registry: FailpointRegistry | None = None
+
+
+def fire(name: str) -> None:
+    """Cross the named failpoint (no-op unless a registry is installed)."""
+    reg = _registry
+    if reg is not None:
+        reg.fire(name)
+
+
+def install(registry: FailpointRegistry) -> None:
+    global _registry
+    _registry = registry
+
+
+def uninstall() -> None:
+    global _registry
+    _registry = None
+
+
+def installed_registry() -> FailpointRegistry | None:
+    return _registry
+
+
+@contextmanager
+def installed(registry: FailpointRegistry) -> Iterator[FailpointRegistry]:
+    """``with installed(reg): run_workload()`` — uninstalls on exit."""
+    install(registry)
+    try:
+        yield registry
+    finally:
+        uninstall()

@@ -1,0 +1,162 @@
+"""Media fault models: a corrupting page store and a log-tail mangler.
+
+:class:`FaultyDisk` wraps any :class:`~repro.storage.disk.PageStore` and
+injects the classic storage failure modes between the buffer pool and the
+real store:
+
+* **torn write** — only a prefix of the 8 KB image reaches the platter; the
+  rest keeps the previous image's bytes (or zeros for a fresh page);
+* **dropped write** — the write is silently lost in the device cache;
+* **bit-rot** — a read returns the stored image with one bit flipped;
+* **transient I/O error** — the operation raises
+  :class:`~repro.errors.InjectedIOError` once; a retry would succeed.
+
+Faults trigger two ways, both deterministic: one-shot arming
+(``disk.arm("torn_write")`` corrupts exactly the next page write) for unit
+tests, and seeded per-operation probabilities for soak-style runs.  All
+randomness (which fault, where the tear lands, which bit rots) comes from
+one ``random.Random(seed)``, so a failing run replays exactly.
+
+Torn and bit-rotten images are *silent* at this layer by design — detection
+belongs to the page CRC32 checksums (``page_checksums=True`` on the
+engine), which turn them into typed
+:class:`~repro.errors.ChecksumError`\\ s on the next read.
+
+:func:`tear_log_tail` mangles the end of a file-backed WAL the way an OS
+crash mid-write would: truncating mid-frame or garbling a byte, which the
+log's framing CRC must catch on the next open.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections import Counter, deque
+
+from repro.errors import InjectedIOError, PageNotFoundError
+from repro.storage.disk import PageStore
+
+READ_FAULTS = ("bitrot_read", "read_error")
+WRITE_FAULTS = ("torn_write", "dropped_write", "write_error")
+FAULT_KINDS = READ_FAULTS + WRITE_FAULTS
+
+
+class FaultyDisk(PageStore):
+    """A page store that corrupts a wrapped inner store's I/O."""
+
+    def __init__(
+        self,
+        inner: PageStore,
+        *,
+        seed: int = 0,
+        torn_write_p: float = 0.0,
+        dropped_write_p: float = 0.0,
+        bitrot_read_p: float = 0.0,
+        read_error_p: float = 0.0,
+        write_error_p: float = 0.0,
+    ) -> None:
+        super().__init__(inner.page_size)
+        self.inner = inner
+        self.rng = random.Random(seed)
+        self.probabilities = {
+            "torn_write": torn_write_p,
+            "dropped_write": dropped_write_p,
+            "bitrot_read": bitrot_read_p,
+            "read_error": read_error_p,
+            "write_error": write_error_p,
+        }
+        self._armed: deque[str] = deque()
+        self.injected: Counter[str] = Counter()
+
+    # -- fault selection ------------------------------------------------------
+
+    def arm(self, kind: str, count: int = 1) -> None:
+        """Queue ``count`` one-shot faults; each hits the next matching op."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        for _ in range(count):
+            self._armed.append(kind)
+
+    def _next_fault(self, applicable: tuple[str, ...]) -> str | None:
+        if self._armed and self._armed[0] in applicable:
+            return self._armed.popleft()
+        for kind in applicable:
+            p = self.probabilities[kind]
+            if p and self.rng.random() < p:
+                return kind
+        return None
+
+    # -- corrupted backend hooks ----------------------------------------------
+
+    def _read(self, page_id: int) -> bytes:
+        fault = self._next_fault(READ_FAULTS)
+        if fault == "read_error":
+            self.injected[fault] += 1
+            raise InjectedIOError(f"injected transient read error on page {page_id}")
+        raw = self.inner._read(page_id)
+        if fault == "bitrot_read":
+            self.injected[fault] += 1
+            pos = self.rng.randrange(len(raw))
+            flipped = bytearray(raw)
+            flipped[pos] ^= 1 << self.rng.randrange(8)
+            raw = bytes(flipped)
+        return raw
+
+    def _write(self, page_id: int, raw: bytes) -> None:
+        fault = self._next_fault(WRITE_FAULTS)
+        if fault == "write_error":
+            self.injected[fault] += 1
+            raise InjectedIOError(f"injected transient write error on page {page_id}")
+        if fault == "dropped_write":
+            self.injected[fault] += 1
+            return
+        if fault == "torn_write":
+            self.injected[fault] += 1
+            tear_at = self.rng.randrange(64, self.page_size)
+            try:
+                old = self.inner._read(page_id)
+            except PageNotFoundError:
+                old = bytes(self.page_size)
+            raw = raw[:tear_at] + old[tear_at:]
+        self.inner._write(page_id, raw)
+
+    def _allocate(self) -> int:
+        return self.inner._allocate()
+
+    @property
+    def page_count(self) -> int:
+        return self.inner.page_count
+
+    def close(self) -> None:
+        """Release underlying resources (idempotent)."""
+        self.inner.close()
+
+
+def tear_log_tail(
+    path: str | os.PathLike,
+    *,
+    drop_bytes: int = 0,
+    garble_at: int | None = None,
+) -> int:
+    """Mangle the tail of a log file like an OS crash mid-write would.
+
+    ``drop_bytes`` truncates that many bytes off the end (a partial final
+    write); ``garble_at`` flips one bit at that file offset (negative
+    offsets count from the end).  Returns the file's new size.
+    """
+    with open(path, "r+b") as fh:
+        size = os.fstat(fh.fileno()).st_size
+        if drop_bytes:
+            size = max(0, size - drop_bytes)
+            fh.truncate(size)
+        if garble_at is not None:
+            offset = garble_at if garble_at >= 0 else size + garble_at
+            if not 0 <= offset < size:
+                raise ValueError(f"garble offset {garble_at} outside file")
+            fh.seek(offset)
+            byte = fh.read(1)[0]
+            fh.seek(offset)
+            fh.write(bytes([byte ^ 0x01]))
+        fh.flush()
+        os.fsync(fh.fileno())
+    return size

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import BufferPoolError, LatchError
+from repro.faults.failpoints import fire
 from repro.storage.disk import PageStore
 from repro.storage.page import Page, decode_page
 
@@ -151,11 +152,14 @@ class BufferPool:
             self.flush_page(pid)
 
     def _write_back(self, frame: Frame) -> None:
+        fire("buffer.flush.begin")
         for hook in self.pre_flush_hooks:
             hook(frame.page)
         if self.log_force is not None:
             self.log_force(frame.page.lsn)
+        fire("buffer.flush.write")
         self.disk.write_page(frame.page.page_id, frame.page.to_bytes())
+        fire("buffer.flush.end")
         frame.dirty = False
         frame.rec_lsn = 0
         self.stats.page_flushes += 1
@@ -216,6 +220,7 @@ class BufferPool:
         for pid, frame in self._frames.items():
             if frame.pin_count == 0 and not frame.exclusive_latch \
                     and not frame.share_latches:
+                fire("buffer.evict")
                 if frame.dirty:
                     self._write_back(frame)
                 del self._frames[pid]

@@ -7,8 +7,19 @@ import enum
 PAGE_SIZE = 8192
 """Database page size in bytes.  The paper's experiments use 8 KB pages."""
 
-COMMON_HEADER_SIZE = 16
-"""Bytes of header shared by every page type: id, type, flags, LSN."""
+COMMON_HEADER_SIZE = 20
+"""Bytes of header shared by every page type: id, type, flags, LSN, CRC32."""
+
+CHECKSUM_OFFSET = 16
+"""Byte offset of the page-header CRC32 field.
+
+Page codecs always serialize it as zero; the disk layer stamps the real
+checksum at write time when checksums are enabled (and 0 therefore means
+"no checksum stamped", so unchecked images stay readable).
+"""
+
+CHECKSUM_SIZE = 4
+"""Bytes of the page-header CRC32 field."""
 
 DATA_HEADER_SIZE = 64
 """Total header size of a data page (common header + versioning fields)."""

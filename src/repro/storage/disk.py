@@ -17,10 +17,50 @@ without the authors' 2005 hardware.
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass, fields
 
-from repro.errors import PageNotFoundError, StorageError
-from repro.storage.constants import META_PAGE_ID, PAGE_SIZE
+from repro.errors import ChecksumError, PageNotFoundError, StorageError
+from repro.faults.failpoints import fire
+from repro.storage.constants import (
+    CHECKSUM_OFFSET,
+    CHECKSUM_SIZE,
+    META_PAGE_ID,
+    PAGE_SIZE,
+)
+
+
+def page_checksum(raw: bytes) -> int:
+    """CRC32 over a page image, excluding the header's checksum field.
+
+    Never returns 0 — that value is reserved for "no checksum stamped", so
+    images written before checksums were enabled stay readable.
+    """
+    crc = zlib.crc32(raw[:CHECKSUM_OFFSET])
+    crc = zlib.crc32(raw[CHECKSUM_OFFSET + CHECKSUM_SIZE:], crc)
+    return crc or 1
+
+
+def stamp_checksum(raw: bytes) -> bytes:
+    """Return ``raw`` with its header CRC32 field filled in."""
+    stamped = bytearray(raw)
+    stamped[CHECKSUM_OFFSET : CHECKSUM_OFFSET + CHECKSUM_SIZE] = \
+        page_checksum(raw).to_bytes(CHECKSUM_SIZE, "big")
+    return bytes(stamped)
+
+
+def verify_checksum(raw: bytes, page_id: int) -> None:
+    """Raise :exc:`ChecksumError` if a stamped image fails verification."""
+    stored = int.from_bytes(
+        raw[CHECKSUM_OFFSET : CHECKSUM_OFFSET + CHECKSUM_SIZE], "big"
+    )
+    if stored == 0:
+        return  # written before checksums were enabled
+    if stored != page_checksum(raw):
+        raise ChecksumError(
+            f"page {page_id}: stored CRC32 {stored:#010x} does not match "
+            f"the page image (torn write or bit-rot)"
+        )
 
 
 @dataclass
@@ -65,6 +105,7 @@ class PageStore:
     def __init__(self, page_size: int = PAGE_SIZE) -> None:
         self.page_size = page_size
         self.stats = DiskStats()
+        self.checksums = False   # opt-in: stamp on write, verify on read
         self._last_read_pid = -2
         self._last_write_pid = -2
 
@@ -72,6 +113,8 @@ class PageStore:
 
     def read_page(self, page_id: int) -> bytes:
         raw = self._read(page_id)
+        if self.checksums:
+            verify_checksum(raw, page_id)
         self.stats.reads += 1
         if page_id == self._last_read_pid + 1:
             self.stats.sequential_reads += 1
@@ -83,6 +126,9 @@ class PageStore:
             raise StorageError(
                 f"page image is {len(raw)} bytes, page size is {self.page_size}"
             )
+        fire("disk.write_page")
+        if self.checksums:
+            raw = stamp_checksum(raw)
         self._write(page_id, raw)
         self.stats.writes += 1
         if page_id == self._last_write_pid + 1:

@@ -61,6 +61,7 @@ class Page:
                 self.header_flags.to_bytes(1, "big"),
                 b"\x00\x00",
                 self.lsn.to_bytes(8, "big"),
+                b"\x00\x00\x00\x00",  # CRC32 slot, stamped by the disk layer
             )
         )
 

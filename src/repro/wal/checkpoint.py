@@ -15,6 +15,7 @@ what advances the scan point and lets the PTT shrink.
 
 from __future__ import annotations
 
+from repro.faults.failpoints import fire
 from repro.storage.buffer import BufferPool
 from repro.wal.log import LogManager
 from repro.wal.records import CheckpointBegin, CheckpointEnd
@@ -42,8 +43,10 @@ class CheckpointManager:
         redo scan start point as far as possible — the knob the PTT garbage
         collector depends on.
         """
+        fire("checkpoint.begin")
         if flush:
             self.buffer.flush_all()
+            fire("checkpoint.flushed")
         begin_lsn = self.log.append(CheckpointBegin())
         end = CheckpointEnd(
             begin_lsn=begin_lsn,
@@ -51,8 +54,11 @@ class CheckpointManager:
             dpt=self.buffer.dirty_page_table(),
         )
         end_lsn = self.log.append(end)
+        fire("checkpoint.logged")
         self.log.force()
+        fire("checkpoint.master")
         self.log.set_master_checkpoint(end_lsn)
+        fire("checkpoint.end")
         self.checkpoints_taken += 1
         return end_lsn
 

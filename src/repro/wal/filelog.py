@@ -6,6 +6,10 @@ exactly).  :class:`FileLogManager` extends it with a real log file:
 
 * every append buffers the framed record; ``force`` writes and fsyncs the
   buffered suffix, so the durable prefix on disk matches ``flushed_lsn``;
+* each on-disk frame is ``length(4) + crc32(4) + record bytes``, so a torn
+  or bit-garbled tail is *detected*, not just guessed at: the load scan
+  stops at the first frame whose length is implausible, whose CRC32
+  mismatches, or whose record bytes fail to decode;
 * the master checkpoint LSN lives in a small side file, written atomically
   (the "durable master record" a real engine keeps in the log header);
 * opening an existing path replays the file into memory — a process that
@@ -20,16 +24,21 @@ malformed record.
 from __future__ import annotations
 
 import os
+import zlib
 
 from repro.errors import LogFormatError, WALError
+from repro.faults.failpoints import fire
 from repro.wal.log import LogManager
 from repro.wal.records import LogRecord
 
-_FRAME = 4
+_LEN = 4
+_CRC = 4
 
 
 class FileLogManager(LogManager):
     """LogManager whose durable prefix lives in a real file."""
+
+    FRAME_BYTES = _LEN + _CRC   # keeps LSN arithmetic equal to file offsets
 
     def __init__(self, path: str | os.PathLike) -> None:
         super().__init__()
@@ -54,12 +63,17 @@ class FileLogManager(LogManager):
         if len(data) < self.HEADER_BYTES:
             raise WALError(f"{self.path}: shorter than the log header")
         offset = self.HEADER_BYTES
-        while offset + _FRAME <= len(data):
-            length = int.from_bytes(data[offset : offset + _FRAME], "big")
-            end = offset + _FRAME + length
+        while offset + self.FRAME_BYTES <= len(data):
+            length = int.from_bytes(data[offset : offset + _LEN], "big")
+            crc = int.from_bytes(
+                data[offset + _LEN : offset + _LEN + _CRC], "big"
+            )
+            end = offset + self.FRAME_BYTES + length
             if length == 0 or end > len(data):
                 break  # torn tail: stop at the first malformed frame
-            raw = data[offset + _FRAME : end]
+            raw = data[offset + self.FRAME_BYTES : end]
+            if zlib.crc32(raw) != crc:
+                break  # garbled frame: the CRC catches bit damage too
             try:
                 LogRecord.decode(raw)
             except LogFormatError:
@@ -84,7 +98,12 @@ class FileLogManager(LogManager):
     def append(self, record: LogRecord) -> int:
         lsn = super().append(record)
         raw = self._raws[-1]
-        self._pending.append(len(raw).to_bytes(_FRAME, "big") + raw)
+        frame = (
+            len(raw).to_bytes(_LEN, "big")
+            + zlib.crc32(raw).to_bytes(_CRC, "big")
+            + raw
+        )
+        self._pending.append(frame)
         return lsn
 
     def force(self, upto_lsn: int | None = None) -> None:
@@ -92,9 +111,11 @@ class FileLogManager(LogManager):
         if target <= self._flushed_lsn:
             return
         if self._pending:
+            fire("filelog.write")
             self._file.write(b"".join(self._pending))
             self._pending.clear()
             self._file.flush()
+            fire("filelog.fsync")
             os.fsync(self._file.fileno())
         super().force(upto_lsn)
 

@@ -19,9 +19,8 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import WALError
+from repro.faults.failpoints import fire
 from repro.wal.records import CompensationRecord, LogRecord, MultiPageImage
-
-_FRAME = 4  # bytes of length framing per record
 
 
 @dataclass
@@ -59,6 +58,10 @@ class LogManager:
     LSN 0 stays free as the "no record / never written" sentinel used by
     fresh pages and by ``prev_lsn`` backchain ends."""
 
+    FRAME_BYTES = 4
+    """Framing overhead per record: a 4-byte length prefix.  The file-backed
+    subclass widens this to add a per-frame CRC32."""
+
     def __init__(self) -> None:
         self._lsns: list[int] = []      # start offset of each record
         self._raws: list[bytes] = []    # framed codec bytes of each record
@@ -71,16 +74,17 @@ class LogManager:
 
     def append(self, record: LogRecord) -> int:
         """Append a record; returns its LSN (not yet durable)."""
+        fire("log.append")
         raw = record.to_bytes()
         record.lsn = self._end_lsn
         self._lsns.append(self._end_lsn)
         self._raws.append(raw)
-        self._end_lsn += _FRAME + len(raw)
+        self._end_lsn += self.FRAME_BYTES + len(raw)
         self.stats.appends += 1
-        self.stats.bytes_appended += _FRAME + len(raw)
+        self.stats.bytes_appended += self.FRAME_BYTES + len(raw)
         if isinstance(record, (MultiPageImage, CompensationRecord)):
             self.stats.image_records += 1
-            self.stats.image_bytes += _FRAME + len(raw)
+            self.stats.image_bytes += self.FRAME_BYTES + len(raw)
         return record.lsn
 
     @property
@@ -113,6 +117,7 @@ class LogManager:
         target = self._end_lsn if upto_lsn is None else min(upto_lsn, self._end_lsn)
         if target <= self._flushed_lsn:
             return
+        fire("log.force")
         self._flushed_lsn = self._end_lsn
         self.stats.forces += 1
 

@@ -7,11 +7,15 @@ import os
 import pytest
 
 from repro import ColumnType, ImmortalDB
+from repro.faults.models import tear_log_tail
 from repro.wal.filelog import FileLogManager
 from repro.wal.records import BeginTxn, CommitTxn
 
 
 COLS = [("k", ColumnType.INT), ("v", ColumnType.TEXT)]
+
+# The final frame the sweep tears: framing (length + crc32) + record bytes.
+_TAIL_FRAME = FileLogManager.FRAME_BYTES + len(BeginTxn(tid=2).to_bytes())
 
 
 class TestFileLogManager:
@@ -72,6 +76,45 @@ class TestFileLogManager:
         final = FileLogManager(path)
         assert [r.tid for r in final.records_from(0)] == [1, 2]
         final.close()
+
+    def _two_record_log(self, path) -> None:
+        log = FileLogManager(path)
+        log.append(BeginTxn(tid=1))
+        log.append(BeginTxn(tid=2))
+        log.force()
+        log.close()
+
+    def _assert_tail_dropped_and_log_usable(self, path) -> None:
+        """The torn frame is discarded; the survivor and appends both work."""
+        reopened = FileLogManager(path)
+        assert [r.tid for r in reopened.records_from(0)] == [1]
+        reopened.append(BeginTxn(tid=3))
+        reopened.force()
+        reopened.close()
+        final = FileLogManager(path)
+        assert [r.tid for r in final.records_from(0)] == [1, 3]
+        final.close()
+
+    @pytest.mark.parametrize("cut", range(1, _TAIL_FRAME + 1))
+    def test_torn_tail_truncation_sweep(self, tmp_path, cut):
+        """A partial final write of *any* length is detected and dropped."""
+        path = tmp_path / "wal.log"
+        self._two_record_log(path)
+        tear_log_tail(path, drop_bytes=cut)
+        self._assert_tail_dropped_and_log_usable(path)
+
+    @pytest.mark.parametrize("offset", range(1, _TAIL_FRAME + 1))
+    def test_garbled_tail_sweep(self, tmp_path, offset):
+        """A single bit flipped at any byte of the final frame is caught.
+
+        The flip may land in the length field (frame geometry breaks), the
+        CRC field, or the record bytes (CRC32 detects every single-bit
+        error) — all must truncate to the last good frame.
+        """
+        path = tmp_path / "wal.log"
+        self._two_record_log(path)
+        tear_log_tail(path, garble_at=-offset)
+        self._assert_tail_dropped_and_log_usable(path)
 
     def test_master_checkpoint_persists(self, tmp_path):
         path = tmp_path / "wal.log"

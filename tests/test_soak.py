@@ -85,6 +85,7 @@ def test_soak_mixed_workload(seed):
                 db.abort(snap)
             open_snapshots.clear()
             db.crash_and_recover()
+            verify_integrity(db, strict=True)
             ledger = db.table("ledger")
             scratch = db.table("scratch")
         elif roll < 0.16:
@@ -106,6 +107,7 @@ def test_soak_mixed_workload(seed):
     for snap in open_snapshots:
         db.abort(snap)
     db.crash_and_recover()
+    verify_integrity(db, strict=True)
     ledger = db.table("ledger")
     with db.transaction() as txn:
         got = {r["k"]: r["v"] for r in ledger.scan(txn)}
