@@ -92,8 +92,8 @@ class BTreeIndexPage(Page):
 
     # -- codec ------------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize to the fixed-size on-disk image."""
+    def _encode(self) -> bytes:
+        """Build the fixed-size on-disk image (uncached)."""
         buf = bytearray(self.page_size)
         buf[0:COMMON_HEADER_SIZE] = self._common_header()
         buf[COMMON_HEADER_SIZE : COMMON_HEADER_SIZE + 2] = len(

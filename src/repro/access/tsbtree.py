@@ -148,8 +148,8 @@ class TSBIndexPage(Page):
 
     # -- codec --------------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize to the fixed-size on-disk image."""
+    def _encode(self) -> bytes:
+        """Build the fixed-size on-disk image (uncached)."""
         buf = bytearray(self.page_size)
         buf[0:COMMON_HEADER_SIZE] = self._common_header()
         body = bytearray()

@@ -15,7 +15,9 @@ record is revisited (that is lazy timestamping's job, stage IV).
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.clock import SimClock, Timestamp
 from repro.errors import ReadOnlyTransactionError, TransactionStateError
@@ -96,16 +98,32 @@ class TransactionManager:
         tsmgr: TimestampManager,
         locks: LockManager,
         support: "_recovery.RecoverySupport",
+        *,
+        group_commit_window: int = 1,
     ) -> None:
+        if group_commit_window < 1:
+            raise ValueError("group_commit_window must be >= 1")
         self.clock = clock
         self.log = log
         self.tsmgr = tsmgr
         self.locks = locks
         self.support = support           # the engine (locator, buffer)
+        self.group_commit_window = group_commit_window
         self.next_tid = 1
         self.active: dict[int, Transaction] = {}
         self.commits = 0
         self.aborts = 0
+        self.group_commit_acks = 0       # commits durably acked via a batch force
+        # Group commit: transactions whose commit record is appended but not
+        # yet durable, in enqueue (= LSN) order.  Any physical log force —
+        # the window filling, a WAL-rule page flush, a checkpoint — makes a
+        # prefix (in practice: all) of these durable; the post-force hook
+        # then delivers their durable acknowledgements in order.
+        self._pending_commits: deque[tuple[Transaction, int]] = deque()
+        # Called once per transaction when its commit becomes durable (test
+        # oracles hook this to learn the exact durable-ack instant).
+        self.durable_commit_hook: Callable[[Transaction], None] | None = None
+        log.post_force_hooks.append(self._on_log_force)
 
     # -- begin -------------------------------------------------------------
 
@@ -195,6 +213,8 @@ class TransactionManager:
                 ptt=txn.touched_immortal,
             )
         )
+        if self.group_commit_window > 1:
+            return self._commit_grouped(txn, ts, commit_lsn)
         fire("txn.commit.force")      # commit record appended, not yet durable
         self.log.force(commit_lsn)
         fire("txn.commit.stamp")      # durable, VTT/PTT transition still pending
@@ -206,6 +226,58 @@ class TransactionManager:
         self.commits += 1
         fire("txn.commit.done")
         return ts
+
+    def _commit_grouped(
+        self, txn: Transaction, ts: Timestamp, commit_lsn: int
+    ) -> Timestamp:
+        """Group-commit tail: volatile commit now, durable ack at the force.
+
+        The transaction's volatile transitions (VTT/PTT bookkeeping, lock
+        release, COMMITTED state) happen immediately — early lock release is
+        safe because any later transaction's commit record follows this one
+        in the log, so it cannot become durable first.  The *durable*
+        acknowledgement is deferred to the next physical force; a crash
+        before it rolls the whole un-acked batch back (no commit record is
+        durable), which is exactly what recovery's analysis pass does.
+        """
+        fire("txn.groupcommit.enqueue")   # record appended, ack deferred
+        self.tsmgr.on_commit(
+            txn.tid, ts, commit_lsn, persistent=txn.touched_immortal
+        )
+        txn.state = TxnState.COMMITTED
+        self._finish(txn)
+        self.commits += 1
+        self._pending_commits.append((txn, commit_lsn))
+        if len(self._pending_commits) >= self.group_commit_window:
+            self.flush_commits()
+        fire("txn.commit.done")
+        return ts
+
+    def flush_commits(self) -> None:
+        """Force the log if group-committed transactions await durable acks."""
+        if not self._pending_commits:
+            return
+        fire("txn.groupcommit.force")     # batch assembled, force still pending
+        self.log.force()
+
+    def _on_log_force(self) -> None:
+        """Post-force hook: durably acknowledge every now-covered commit."""
+        while self._pending_commits \
+                and self._pending_commits[0][1] < self.log.flushed_lsn:
+            txn, _ = self._pending_commits.popleft()
+            self.group_commit_acks += 1
+            fire("txn.groupcommit.ack")   # this commit is durable, ack in flight
+            if self.durable_commit_hook is not None:
+                self.durable_commit_hook(txn)
+
+    @property
+    def unacked_commits(self) -> int:
+        """Group-committed transactions still awaiting their durable ack."""
+        return len(self._pending_commits)
+
+    def discard_pending_commits(self) -> None:
+        """Crash: un-acked batched commits are lost with the log suffix."""
+        self._pending_commits.clear()
 
     # -- abort ----------------------------------------------------------------------
 

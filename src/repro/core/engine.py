@@ -63,6 +63,7 @@ class ImmortalDB:
         clock: SimClock | None = None,
         disk: PageStore | None = None,
         page_checksums: bool = False,
+        group_commit_window: int = 1,
     ) -> None:
         if timestamping not in ("lazy", "eager"):
             raise ValueError("timestamping must be 'lazy' or 'eager'")
@@ -95,7 +96,8 @@ class ImmortalDB:
         self.tsmgr.locator = self.locate_current_page
         self.locks = LockManager()
         self.txn_mgr = TransactionManager(
-            self.clock, self.log, self.tsmgr, self.locks, self
+            self.clock, self.log, self.tsmgr, self.locks, self,
+            group_commit_window=group_commit_window,
         )
         self.checkpoints = CheckpointManager(self.log, self.buffer)
         self.snapshots = SnapshotRegistry()
@@ -282,6 +284,14 @@ class ImmortalDB:
         self.txn_mgr.abort(txn)
         self.snapshots.unregister(txn.tid)
 
+    def flush_commits(self) -> None:
+        """Force the log now if group-committed transactions await their ack.
+
+        With ``group_commit_window=1`` (the default) every commit forces the
+        log itself and this is a no-op.
+        """
+        self.txn_mgr.flush_commits()
+
     @contextmanager
     def transaction(
         self,
@@ -327,7 +337,10 @@ class ImmortalDB:
 
         Returns the number of PTT entries garbage collected.
         """
-        self.checkpoints.take(self.txn_mgr.att_snapshot(), flush=flush)
+        self.checkpoints.take(
+            self.txn_mgr.att_snapshot(), flush=flush,
+            max_tid=self.txn_mgr.next_tid - 1,
+        )
         collected = self.tsmgr.garbage_collect(self.checkpoints.redo_scan_start())
         self._save_meta()
         return collected
@@ -338,6 +351,7 @@ class ImmortalDB:
         """Lose all volatile state, exactly as a power failure would."""
         self.buffer.discard_all()
         self.log.crash()
+        self.txn_mgr.discard_pending_commits()
         self.tsmgr.rebuild_after_crash()
         self.snapshots.clear()
         self.locks = LockManager()
@@ -365,8 +379,14 @@ class ImmortalDB:
         return self.recover()
 
     def _max_tid_seen(self) -> int:
-        best = self.ptt.max_tid()
-        for rec in self.log.records_from(0):
+        # TIDs allocated before the last checkpoint are covered by the TID
+        # floor it persisted (and by the PTT), so the scan only needs the
+        # log suffix recovery reads anyway.  Pre-max_tid checkpoints (or no
+        # checkpoint at all) report 0 and the scan degrades to the full log.
+        floor = self.checkpoints.checkpointed_max_tid()
+        scan_from = self.checkpoints.redo_scan_start() if floor else 0
+        best = max(self.ptt.max_tid(), floor)
+        for rec in self.log.records_from(scan_from):
             if rec.tid > best:
                 best = rec.tid
         return best
@@ -418,8 +438,10 @@ class ImmortalDB:
             "log_appends": log.appends,
             "log_bytes": log.bytes_appended,
             "log_forces": log.forces,
+            "log_forced_bytes": log.forced_bytes,
             "log_image_records": log.image_records,
             "log_image_bytes": log.image_bytes,
+            "group_commit_acks": self.txn_mgr.group_commit_acks,
             "buffer_hits": buf.hits,
             "buffer_misses": buf.misses,
             "buffer_evictions": buf.evictions,

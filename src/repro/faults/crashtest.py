@@ -60,6 +60,7 @@ class CrashTestConfig:
     mark_every: int = 5
     buffer_pages: int = 8
     value_pad: int = 700
+    group_commit_window: int = 1
 
     def repro_args(self, crossing: int) -> str:
         parts = [f"--seed {self.seed}"]
@@ -67,6 +68,8 @@ class CrashTestConfig:
             parts.append(f"--transactions {self.transactions}")
         if self.keys != CrashTestConfig.keys:
             parts.append(f"--keys {self.keys}")
+        if self.group_commit_window != CrashTestConfig.group_commit_window:
+            parts.append(f"--group-commit {self.group_commit_window}")
         parts.append(f"--crash-point {crossing}")
         return " ".join(parts)
 
@@ -74,25 +77,52 @@ class CrashTestConfig:
 class ShadowOracle:
     """Pure-Python model of what must survive a crash.
 
-    ``committed`` tracks driver-observed commits; ``pending`` the single
+    ``committed`` tracks durably-acknowledged commits; ``pending`` the single
     in-flight mutation.  A crash inside commit processing leaves exactly two
     legal outcomes (commit record durable or not), so acceptance is "current
     state ∈ {committed, committed+pending}".  As-of marks are only taken
     between transactions, so they must always reproduce exactly.
+
+    With **group commit** (``group_mode``), a driver-observed commit is only
+    *volatile*: its mutation moves to the ``enqueued`` list and reaches
+    ``committed`` when the engine's durable-commit hook fires
+    (:meth:`on_durable`).  A crash can then lose any un-acked suffix of the
+    batch, so the acceptable states widen to every prefix of ``enqueued``
+    applied on top of ``committed`` (plus ``pending`` at the end).
     """
 
     def __init__(self) -> None:
         self.committed: dict[int, str] = {}
         self.marks: list[tuple[Timestamp, dict[int, str]]] = []
         self.pending: dict[int, str | None] | None = None
+        self.group_mode = False
+        self.enqueued: list[dict[int, str | None]] = []
 
     def begin(self, mutation: dict[int, str | None]) -> None:
         self.pending = mutation
 
     def commit_observed(self) -> None:
+        if self.group_mode:
+            # The durable hook may already have consumed pending (the window
+            # filled during this very commit call); otherwise the commit is
+            # volatile until the next force acks it.
+            if self.pending is not None:
+                self.enqueued.append(self.pending)
+                self.pending = None
+            return
         assert self.pending is not None
         self._apply(self.committed, self.pending)
         self.pending = None
+
+    def on_durable(self) -> None:
+        """Engine hook: the next volatile commit just became durable."""
+        if self.enqueued:
+            self._apply(self.committed, self.enqueued.pop(0))
+        elif self.pending is not None:
+            # Ack arrived inside the driver's commit call, before
+            # commit_observed could move pending into the queue.
+            self._apply(self.committed, self.pending)
+            self.pending = None
 
     def mark(self, ts: Timestamp) -> None:
         self.marks.append((ts, dict(self.committed)))
@@ -107,17 +137,26 @@ class ShadowOracle:
 
     def acceptable_states(self) -> list[dict[int, str]]:
         states = [dict(self.committed)]
+        cursor = dict(self.committed)
+        for mutation in self.enqueued:
+            cursor = dict(cursor)
+            self._apply(cursor, mutation)
+            if cursor not in states:
+                states.append(cursor)
         if self.pending is not None:
-            extra = dict(self.committed)
+            extra = dict(cursor)
             self._apply(extra, self.pending)
-            if extra != states[0]:
+            if extra not in states:
                 states.append(extra)
         return states
 
 
 def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
     """A fresh in-memory database with the harness table (not yet armed)."""
-    db = ImmortalDB(buffer_pages=config.buffer_pages)
+    db = ImmortalDB(
+        buffer_pages=config.buffer_pages,
+        group_commit_window=config.group_commit_window,
+    )
     table = db.create_table(
         TABLE,
         [("k", ColumnType.INT), ("v", ColumnType.TEXT)],
@@ -136,24 +175,35 @@ def run_workload(
     manager's exception path would *abort* the transaction after a
     simulated crash — post-mortem work a real dead process cannot do.
     """
+    if config.group_commit_window > 1:
+        oracle.group_mode = True
+        db.txn_mgr.durable_commit_hook = lambda txn: oracle.on_durable()
     rng = random.Random(config.seed)
+    # The oracle's view of the durably-committed key set; with group commit,
+    # oracle.committed lags the driver (volatile commits are in the queue),
+    # so the workload's branch decisions consult the driver-side view.
+    observed: dict[int, bool] = {}
     for i in range(config.transactions):
         db.advance_time(rng.uniform(5.0, 250.0))
         key = rng.randrange(config.keys)
-        delete = key in oracle.committed and rng.random() < 0.2
+        delete = observed.get(key, False) and rng.random() < 0.2
         value = None if delete \
             else f"s{config.seed}i{i}" + "x" * rng.randrange(config.value_pad)
         oracle.begin({key: value})
         txn = db.begin()
         if value is None:
             table.delete(txn, key)
-        elif key in oracle.committed:
+        elif observed.get(key, False):
             table.update(txn, key, {"v": value})
         else:
             table.insert(txn, {"k": key, "v": value})
         db.commit(txn)
         oracle.commit_observed()
+        observed[key] = value is not None
         if i % config.mark_every == config.mark_every - 1:
+            # Settle the batch so the mark snapshots a durable state (a
+            # no-op when group commit is off or the queue is empty).
+            db.flush_commits()
             oracle.mark(db.now())
         if i % config.checkpoint_every == config.checkpoint_every - 1:
             db.checkpoint(flush=(i // config.checkpoint_every) % 2 == 0)
@@ -301,6 +351,10 @@ def main(argv: list[str] | None = None) -> int:
                         default=CrashTestConfig.transactions)
     parser.add_argument("--keys", type=int, default=CrashTestConfig.keys)
     parser.add_argument(
+        "--group-commit", type=int, default=CrashTestConfig.group_commit_window,
+        metavar="N", help="group-commit window (1 = force per commit)",
+    )
+    parser.add_argument(
         "--max-points", type=int, default=0,
         help="explore at most N crossings, evenly sampled (0 = all)",
     )
@@ -310,7 +364,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     config = CrashTestConfig(
-        seed=args.seed, transactions=args.transactions, keys=args.keys
+        seed=args.seed, transactions=args.transactions, keys=args.keys,
+        group_commit_window=args.group_commit,
     )
 
     if args.crash_point is not None:

@@ -126,6 +126,11 @@ class BufferPool:
 
     def mark_dirty(self, page_id: int, rec_lsn: int | None = None) -> None:
         frame = self._require_frame(page_id)
+        # mark_dirty means "this page's content changed"; mutations that go
+        # through an attribute the page object can see already invalidated
+        # the encode cache, but in-place record mutations (stamping) do not,
+        # so the dirty notification doubles as the cache invalidation point.
+        frame.page.touch()
         if not frame.dirty:
             frame.dirty = True
             frame.rec_lsn = rec_lsn if rec_lsn is not None else frame.page.lsn
@@ -148,7 +153,10 @@ class BufferPool:
         self._write_back(frame)
 
     def flush_all(self) -> None:
-        for pid in list(self._frames):
+        # Page-id order: consecutive ids reach the disk layer sequentially,
+        # earning its sequential-write credit (and, on real hardware, an
+        # elevator-friendly write pattern).
+        for pid in sorted(self._frames):
             self.flush_page(pid)
 
     def _write_back(self, frame: Frame) -> None:
@@ -217,15 +225,20 @@ class BufferPool:
         self._frames.move_to_end(frame.page.page_id)
 
     def _evict_one(self) -> None:
-        for pid, frame in self._frames.items():
-            if frame.pin_count == 0 and not frame.exclusive_latch \
-                    and not frame.share_latches:
-                fire("buffer.evict")
-                if frame.dirty:
-                    self._write_back(frame)
-                del self._frames[pid]
-                self.stats.evictions += 1
-                return
+        # Pop from the cold end of the LRU order; pinned/latched frames are
+        # rotated to the hot end (they are in active use) so the next attempt
+        # does not rescan them.
+        for _ in range(len(self._frames)):
+            pid, frame = next(iter(self._frames.items()))
+            if frame.pin_count or frame.exclusive_latch or frame.share_latches:
+                self._frames.move_to_end(pid)
+                continue
+            fire("buffer.evict")
+            if frame.dirty:
+                self._write_back(frame)
+            del self._frames[pid]
+            self.stats.evictions += 1
+            return
         raise BufferPoolError("buffer pool exhausted: every frame is pinned")
 
     def cached_pages(self) -> Iterator[Page]:

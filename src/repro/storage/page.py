@@ -20,6 +20,7 @@ buffer pool can deserialize any raw page image.
 
 from __future__ import annotations
 
+import struct
 from bisect import bisect_left
 from typing import Callable, Iterator
 
@@ -38,31 +39,61 @@ from repro.storage.constants import (
 from repro.storage.record import RecordVersion
 
 
+# page_id(4) type(1) flags(1) pad(2) lsn(8) CRC32-slot(4, stamped by disk)
+_COMMON_HEADER = struct.Struct(">IBB2xQ4x")
+
+
 class Page:
-    """Base class for every page type: common header + codec registry."""
+    """Base class for every page type: common header + codec registry.
+
+    Serialization is cached: :meth:`to_bytes` re-encodes only when the page's
+    mutation epoch has moved since the last encode.  The epoch advances on
+    every attribute assignment (``__setattr__``) and on explicit
+    :meth:`touch` calls, which callers that mutate page contents *through*
+    an attribute (e.g. stamping a :class:`RecordVersion` reached via
+    ``versions``) must issue — the buffer pool does this in ``mark_dirty``.
+    """
 
     page_type: PageType = PageType.META
+
+    # Class-level defaults so __setattr__ can read them before __init__ runs.
+    _encode_epoch: int = 0
+    _image: bytes | None = None
+    _image_epoch: int = -1
+
+    _CACHE_ATTRS = frozenset({"_encode_epoch", "_image", "_image_epoch"})
 
     def __init__(self, page_id: int) -> None:
         self.page_id = page_id
         self.lsn = 0            # LSN of the last log record applied (WAL rule)
         self.header_flags = 0
 
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name not in Page._CACHE_ATTRS:
+            object.__setattr__(self, "_encode_epoch", self._encode_epoch + 1)
+
+    def touch(self) -> None:
+        """Invalidate the cached image after an in-place content mutation."""
+        object.__setattr__(self, "_encode_epoch", self._encode_epoch + 1)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the fixed-size on-disk image (cached per epoch)."""
+        if self._image is not None and self._image_epoch == self._encode_epoch:
+            return self._image
+        image = self._encode()
+        object.__setattr__(self, "_image", image)
+        object.__setattr__(self, "_image_epoch", self._encode_epoch)
+        return image
+
     # Every subclass must produce exactly PAGE_SIZE bytes.
-    def to_bytes(self) -> bytes:  # pragma: no cover - abstract
-        """Serialize to the fixed-size on-disk image."""
+    def _encode(self) -> bytes:  # pragma: no cover - abstract
+        """Build the fixed-size on-disk image (uncached)."""
         raise NotImplementedError
 
     def _common_header(self) -> bytes:
-        return b"".join(
-            (
-                self.page_id.to_bytes(4, "big"),
-                int(self.page_type).to_bytes(1, "big"),
-                self.header_flags.to_bytes(1, "big"),
-                b"\x00\x00",
-                self.lsn.to_bytes(8, "big"),
-                b"\x00\x00\x00\x00",  # CRC32 slot, stamped by the disk layer
-            )
+        return _COMMON_HEADER.pack(
+            self.page_id, int(self.page_type), self.header_flags, self.lsn
         )
 
     @staticmethod
@@ -70,10 +101,7 @@ class Page:
         """Return (page_id, page_type, flags, lsn) from a raw page image."""
         if len(raw) != PAGE_SIZE:
             raise PageFormatError(f"page image is {len(raw)} bytes, want {PAGE_SIZE}")
-        page_id = int.from_bytes(raw[0:4], "big")
-        page_type = raw[4]
-        flags = raw[5]
-        lsn = int.from_bytes(raw[8:16], "big")
+        page_id, page_type, flags, lsn = _COMMON_HEADER.unpack_from(raw, 0)
         return page_id, page_type, flags, lsn
 
 
@@ -93,6 +121,11 @@ def decode_page(raw: bytes) -> Page:
     except KeyError:
         raise PageFormatError(f"unknown page type {page_type}") from None
     return decoder(raw)
+
+
+# nslots(2) nversions(2) split_ts(8+4) end_ts(8+4) history(4) next_leaf(4)
+# table_id(4) — the data-page header extension after the common header.
+_DATA_EXT = struct.Struct(">HHQIQIIII")
 
 
 class DataPage(Page):
@@ -369,37 +402,35 @@ class DataPage(Page):
 
     # -- codec --------------------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize to the fixed-size on-disk image."""
+    def _encode(self) -> bytes:
+        """Build the fixed-size on-disk image (uncached)."""
         buf = bytearray(self.page_size)
         buf[0:COMMON_HEADER_SIZE] = self._common_header()
-        ext = b"".join(
-            (
-                len(self.slots).to_bytes(2, "big"),
-                len(self.versions).to_bytes(2, "big"),
-                self.split_ts.to_bytes(),
-                self.end_ts.to_bytes(),
-                self.history_page_id.to_bytes(4, "big"),
-                self.next_leaf_id.to_bytes(4, "big"),
-                self.table_id.to_bytes(4, "big"),
-            )
+        _DATA_EXT.pack_into(
+            buf, COMMON_HEADER_SIZE,
+            len(self.slots), len(self.versions),
+            self.split_ts.ttime, self.split_ts.sn,
+            self.end_ts.ttime, self.end_ts.sn,
+            self.history_page_id, self.next_leaf_id, self.table_id,
         )
-        buf[COMMON_HEADER_SIZE : COMMON_HEADER_SIZE + len(ext)] = ext
         offset = DATA_HEADER_SIZE
-        for version in self.versions:
-            image = version.to_bytes()
-            end = offset + len(image)
-            buf[offset:end] = image
-            offset = end
+        try:
+            for version in self.versions:
+                offset = version.write_into(buf, offset)
+        except struct.error as exc:
+            raise PageFormatError(
+                f"page {self.page_id} overflows its image"
+            ) from exc
         slot_area = self.page_size - SLOT_SIZE * len(self.slots)
         if offset > slot_area:
             raise PageFormatError(
                 f"page {self.page_id} overflows its image "
                 f"({offset} bytes of records, slot area at {slot_area})"
             )
-        for i, head_index in enumerate(self.slots):
-            at = slot_area + i * SLOT_SIZE
-            buf[at : at + SLOT_SIZE] = head_index.to_bytes(SLOT_SIZE, "big")
+        if self.slots:
+            struct.pack_into(
+                f">{len(self.slots)}H", buf, slot_area, *self.slots
+            )
         return bytes(buf)
 
     @classmethod
@@ -412,28 +443,27 @@ class DataPage(Page):
                    page_size=len(raw))
         page.header_flags = flags
         page.lsn = lsn
-        at = COMMON_HEADER_SIZE
-        nslots = int.from_bytes(raw[at : at + 2], "big")
-        nversions = int.from_bytes(raw[at + 2 : at + 4], "big")
-        page.split_ts = Timestamp.from_bytes(raw[at + 4 : at + 16])
-        page.end_ts = Timestamp.from_bytes(raw[at + 16 : at + 28])
-        page.history_page_id = int.from_bytes(raw[at + 28 : at + 32], "big")
-        page.next_leaf_id = int.from_bytes(raw[at + 32 : at + 36], "big")
-        page.table_id = int.from_bytes(raw[at + 36 : at + 40], "big")
+        (
+            nslots, nversions,
+            split_ttime, split_sn, end_ttime, end_sn,
+            history_page_id, next_leaf_id, table_id,
+        ) = _DATA_EXT.unpack_from(raw, COMMON_HEADER_SIZE)
+        page.split_ts = Timestamp(split_ttime, split_sn)
+        page.end_ts = Timestamp(end_ttime, end_sn)
+        page.history_page_id = history_page_id
+        page.next_leaf_id = next_leaf_id
+        page.table_id = table_id
         offset = DATA_HEADER_SIZE
         for _ in range(nversions):
             version, offset = RecordVersion.from_bytes(raw, offset)
             page.versions.append(version)
         slot_area = len(raw) - SLOT_SIZE * nslots
-        heads: list[int] = []
-        for i in range(nslots):
-            slot_at = slot_area + i * SLOT_SIZE
-            head_index = int.from_bytes(raw[slot_at : slot_at + SLOT_SIZE], "big")
+        heads = list(struct.unpack_from(f">{nslots}H", raw, slot_area))
+        for i, head_index in enumerate(heads):
             if head_index >= nversions:
                 raise PageFormatError(
                     f"page {page_id}: slot {i} points past version area"
                 )
-            heads.append(head_index)
         page.slots = heads
         page._slot_keys = [page.versions[h].key for h in heads]
         if page._slot_keys != sorted(page._slot_keys):
@@ -465,8 +495,8 @@ class MetaPage(Page):
         self.page_size = page_size
         self.blob = blob
 
-    def to_bytes(self) -> bytes:
-        """Serialize to the fixed-size on-disk image."""
+    def _encode(self) -> bytes:
+        """Build the fixed-size on-disk image (uncached)."""
         capacity = self.page_size - COMMON_HEADER_SIZE - 4
         if len(self.blob) > capacity:
             raise PageFormatError(

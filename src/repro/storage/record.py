@@ -27,6 +27,7 @@ identifies which page that is) — exactly the scheme of Section 3.1.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.clock import Timestamp, encode_tid_field, field_is_tid, field_tid
@@ -34,6 +35,9 @@ from repro.errors import PageFormatError
 from repro.storage.constants import NO_PREVIOUS, RecordFlag, VERSIONING_TAIL_SIZE
 
 _FIXED_OVERHEAD = 1 + 2 + 2 + VERSIONING_TAIL_SIZE  # flags + lengths + tail
+
+_HEAD = struct.Struct(">BHH")   # flags, key_len, payload_len
+_TAIL = struct.Struct(">HQI")   # vp, ttime_field, sn
 
 
 @dataclass(slots=True)
@@ -141,34 +145,38 @@ class RecordVersion:
             raise PageFormatError("key or payload exceeds 64 KiB record limit")
         return b"".join(
             (
-                self.flags.to_bytes(1, "big"),
-                len(self.key).to_bytes(2, "big"),
-                len(self.payload).to_bytes(2, "big"),
+                _HEAD.pack(self.flags, len(self.key), len(self.payload)),
                 self.key,
                 self.payload,
-                self.vp.to_bytes(2, "big"),
-                self.ttime_field.to_bytes(8, "big"),
-                self.sn.to_bytes(4, "big"),
+                _TAIL.pack(self.vp, self.ttime_field, self.sn),
             )
         )
+
+    def write_into(self, buf: bytearray, offset: int) -> int:
+        """Serialize directly into a page buffer; returns the next offset."""
+        if len(self.key) > 0xFFFF or len(self.payload) > 0xFFFF:
+            raise PageFormatError("key or payload exceeds 64 KiB record limit")
+        _HEAD.pack_into(buf, offset, self.flags, len(self.key), len(self.payload))
+        body = offset + _HEAD.size
+        tail = body + len(self.key) + len(self.payload)
+        buf[body : body + len(self.key)] = self.key
+        buf[body + len(self.key) : tail] = self.payload
+        _TAIL.pack_into(buf, tail, self.vp, self.ttime_field, self.sn)
+        return tail + _TAIL.size
 
     @classmethod
     def from_bytes(cls, data: bytes, offset: int = 0) -> tuple["RecordVersion", int]:
         """Decode one record image at ``offset``; return (record, next_offset)."""
         try:
-            flags = data[offset]
-            key_len = int.from_bytes(data[offset + 1 : offset + 3], "big")
-            payload_len = int.from_bytes(data[offset + 3 : offset + 5], "big")
-            body = offset + 5
+            flags, key_len, payload_len = _HEAD.unpack_from(data, offset)
+            body = offset + _HEAD.size
             key = bytes(data[body : body + key_len])
             payload = bytes(data[body + key_len : body + key_len + payload_len])
             tail = body + key_len + payload_len
-            vp = int.from_bytes(data[tail : tail + 2], "big")
-            ttime_field = int.from_bytes(data[tail + 2 : tail + 10], "big")
-            sn = int.from_bytes(data[tail + 10 : tail + 14], "big")
-        except IndexError as exc:  # pragma: no cover - defensive
+            vp, ttime_field, sn = _TAIL.unpack_from(data, tail)
+        except struct.error as exc:
             raise PageFormatError("truncated record image") from exc
-        end = tail + 14
+        end = tail + _TAIL.size
         if len(key) != key_len or len(payload) != payload_len or end > len(data):
             raise PageFormatError("truncated record image")
         record = cls(

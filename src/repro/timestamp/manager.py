@@ -109,7 +109,9 @@ class TimestampManager:
         ``persistent`` is True when the transaction updated an immortal
         table, i.e. its TID→timestamp mapping must survive a crash.
         """
-        entry = self.vtt.set_committed(tid, ts, self.log.end_lsn)
+        entry = self.vtt.set_committed(
+            tid, ts, self.log.end_lsn, commit_lsn=commit_lsn
+        )
         entry.persistent = persistent
         if persistent:
             self.ptt.insert(tid, ts, rec_lsn=commit_lsn)
@@ -156,10 +158,20 @@ class TimestampManager:
             return self.recovery_fallback, True
 
     def stamp_version(self, version, *, immortal: bool = True) -> bool:
-        """Try to timestamp one version; False if its writer is still active."""
+        """Try to timestamp one version; False if its writer is still active.
+
+        Also declines while the writer's commit record is not yet durable
+        (group commit holds commit records in the log buffer): stamping is
+        never logged, so a stamped version reaching disk before its commit
+        record would survive a crash that rolls the transaction back.
+        """
         tid = version.tid
         ts, committed = self.resolve_with_fallback(tid, immortal=immortal)
         if not committed:
+            return False
+        entry = self.vtt.get(tid)
+        if entry is not None and entry.commit_lsn is not None \
+                and entry.commit_lsn >= self.log.flushed_lsn:
             return False
         assert ts is not None
         version.stamp(ts)
@@ -201,8 +213,13 @@ class TimestampManager:
         finally:
             if latched:
                 self.buffer.unlatch(page.page_id)
-        if stamped and mark_dirty:
-            self.buffer.mark_dirty(page.page_id)
+        if stamped:
+            # Stamping mutates records in place, invisible to the page's
+            # attribute-level cache invalidation — always touch, even on the
+            # pre-flush path that skips mark_dirty.
+            page.touch()
+            if mark_dirty:
+                self.buffer.mark_dirty(page.page_id)
         return stamped
 
     def _flush_hook(self, page: Page) -> None:

@@ -40,6 +40,8 @@ class VTTEntry:
     done_lsn: int | None = None     # end-of-log LSN when refcount hit zero
     is_snapshot: bool = False       # snapshot txns never get a PTT entry
     persistent: bool = False        # True once a PTT entry was written
+    commit_lsn: int | None = None   # LSN of the commit record (None: unknown,
+    # e.g. cached from the PTT — then the commit is durable by construction)
 
     @property
     def is_active(self) -> bool:
@@ -95,11 +97,15 @@ class VolatileTimestampTable:
 
     # -- stage III: commit --------------------------------------------------------
 
-    def set_committed(self, tid: int, ts: Timestamp, end_lsn: int) -> VTTEntry:
+    def set_committed(
+        self, tid: int, ts: Timestamp, end_lsn: int,
+        commit_lsn: int | None = None,
+    ) -> VTTEntry:
         """Record the commit timestamp; if nothing awaits stamping, mark done."""
         entry = self.require(tid)
         entry.ttime = ts.ttime
         entry.sn = ts.sn
+        entry.commit_lsn = commit_lsn
         if entry.refcount == 0:
             entry.done_lsn = end_lsn
         return entry

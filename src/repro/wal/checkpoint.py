@@ -34,6 +34,7 @@ class CheckpointManager:
         att: dict[int, tuple[int, int]] | None = None,
         *,
         flush: bool = False,
+        max_tid: int = 0,
     ) -> int:
         """Take a checkpoint; returns the LSN of its end record.
 
@@ -41,7 +42,9 @@ class CheckpointManager:
         active (the engine supplies it).  ``flush=True`` writes all dirty
         pages first, which empties the dirty page table and advances the
         redo scan start point as far as possible — the knob the PTT garbage
-        collector depends on.
+        collector depends on.  ``max_tid`` is the highest TID allocated so
+        far; persisting it lets recovery's TID-floor scan skip everything
+        before the redo scan start point.
         """
         fire("checkpoint.begin")
         if flush:
@@ -52,6 +55,7 @@ class CheckpointManager:
             begin_lsn=begin_lsn,
             att=dict(att or {}),
             dpt=self.buffer.dirty_page_table(),
+            max_tid=max_tid,
         )
         end_lsn = self.log.append(end)
         fire("checkpoint.logged")
@@ -61,6 +65,16 @@ class CheckpointManager:
         fire("checkpoint.end")
         self.checkpoints_taken += 1
         return end_lsn
+
+    def checkpointed_max_tid(self) -> int:
+        """The TID floor recorded by the last durable checkpoint (0 if none)."""
+        master = self.log.master_checkpoint_lsn
+        if not master:
+            return 0
+        end = self.log.record_at(master)
+        if not isinstance(end, CheckpointEnd):  # pragma: no cover - defensive
+            return 0
+        return end.max_tid
 
     def redo_scan_start(self) -> int:
         """The LSN redo would start from, per the last durable checkpoint.

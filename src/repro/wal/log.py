@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import WALError
 from repro.faults.failpoints import fire
@@ -33,11 +33,15 @@ class LogStats:
     image_bytes: int = 0       # their bytes: a simulator artifact; real
     # engines log structure modifications physiologically (~100 bytes), so
     # the cost model prices image records by count, not by image volume.
+    forced_bytes: int = 0      # bytes made durable by physical forces; each
+    # force writes one contiguous (sequential) suffix, so forced_bytes /
+    # forces is the average batch a group-committed force amortizes.
 
     def snapshot(self) -> "LogStats":
         """An independent copy of the current counter values."""
         return LogStats(self.appends, self.bytes_appended, self.forces,
-                        self.image_records, self.image_bytes)
+                        self.image_records, self.image_bytes,
+                        self.forced_bytes)
 
     def delta(self, since: "LogStats") -> "LogStats":
         """Elementwise difference against an earlier snapshot."""
@@ -47,6 +51,7 @@ class LogStats:
             self.forces - since.forces,
             self.image_records - since.image_records,
             self.image_bytes - since.image_bytes,
+            self.forced_bytes - since.forced_bytes,
         )
 
 
@@ -69,6 +74,11 @@ class LogManager:
         self._flushed_lsn = self.HEADER_BYTES
         self._master_checkpoint_lsn = 0  # durable master record (tiny side write)
         self.stats = LogStats()
+        # Run after every *physical* force, once flushed_lsn has advanced.
+        # Group commit drains its acknowledgement queue here, so any force —
+        # a commit batch filling, a WAL-rule page flush, a checkpoint —
+        # durably acks whatever commits it happens to cover.
+        self.post_force_hooks: list[Callable[[], None]] = []
 
     # -- appending ---------------------------------------------------------
 
@@ -118,8 +128,11 @@ class LogManager:
         if target <= self._flushed_lsn:
             return
         fire("log.force")
+        self.stats.forced_bytes += self._end_lsn - self._flushed_lsn
         self._flushed_lsn = self._end_lsn
         self.stats.forces += 1
+        for hook in self.post_force_hooks:
+            hook()
 
     # -- master record ---------------------------------------------------------
 

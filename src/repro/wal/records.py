@@ -293,6 +293,10 @@ class CheckpointEnd(LogRecord):
     """{tid: (last_lsn, phase)} for transactions active at checkpoint begin."""
     dpt: dict[int, int] = field(default_factory=dict)
     """{page_id: recLSN} for pages dirty at checkpoint begin."""
+    max_tid: int = 0
+    """Highest TID allocated when the checkpoint was taken.  Recovery's
+    TID-floor scan starts from this instead of reading the whole log (old
+    images without the field decode as 0, forcing the full scan)."""
 
     def body_bytes(self) -> bytes:
         """Serialize this record type's body fields."""
@@ -308,6 +312,7 @@ class CheckpointEnd(LogRecord):
         for page_id, rec_lsn in sorted(self.dpt.items()):
             chunks.append(page_id.to_bytes(4, "big"))
             chunks.append(rec_lsn.to_bytes(8, "big"))
+        chunks.append(self.max_tid.to_bytes(8, "big"))
         return b"".join(chunks)
 
     @classmethod
@@ -322,9 +327,10 @@ class CheckpointEnd(LogRecord):
         for _ in range(body.u(4)):
             page_id = body.u(4)
             dpt[page_id] = body.u(8)
+        max_tid = body.u(8)   # 0 when decoding a pre-max_tid image
         return cls(
             tid=tid, prev_lsn=prev_lsn,
-            begin_lsn=begin_lsn, att=att, dpt=dpt,
+            begin_lsn=begin_lsn, att=att, dpt=dpt, max_tid=max_tid,
         )
 
 

@@ -1,0 +1,221 @@
+"""Group commit: batching, durable acks, crash semantics, stamping gate.
+
+The engine's ``group_commit_window`` batches commit-time log forces: commits
+enqueue their (already appended) commit records and a single force durably
+acknowledges the whole batch.  These tests pin down the contract:
+
+* forces drop by ~the window factor while every commit still gets acked,
+* a crash between enqueue and force rolls the un-acked batch back cleanly,
+* lazy stamping refuses to stamp versions whose commit record is not yet
+  durable (stamping is never logged, so a stamped version reaching disk
+  ahead of its commit record would survive a crash that rolls it back),
+* the fault-injection harness stays clean with group commit enabled,
+  including at the new ``txn.groupcommit.*`` failpoints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB
+from repro.faults.crashtest import CrashTestConfig, enumerate_crossings, explore
+
+COLS = [("k", ColumnType.INT), ("v", ColumnType.TEXT)]
+
+
+def make_db(window: int) -> ImmortalDB:
+    return ImmortalDB(buffer_pages=64, group_commit_window=window)
+
+
+def make_table(db: ImmortalDB):
+    return db.create_table("t", COLS, key="k", immortal=True)
+
+
+def insert_one(db, table, k: int) -> None:
+    with db.transaction() as txn:
+        table.insert(txn, {"k": k, "v": f"v{k}"})
+
+
+class TestBatching:
+    def test_full_window_forces_once(self):
+        db = make_db(4)
+        table = make_table(db)
+        before = db.log.stats.forces
+        for k in range(8):
+            insert_one(db, table, k)
+        assert db.log.stats.forces - before == 2
+        assert db.txn_mgr.group_commit_acks == 8
+        assert db.txn_mgr.unacked_commits == 0
+
+    def test_partial_batch_waits_for_flush(self):
+        db = make_db(4)
+        table = make_table(db)
+        before = db.log.stats.forces
+        insert_one(db, table, 1)
+        insert_one(db, table, 2)
+        assert db.log.stats.forces == before
+        assert db.txn_mgr.unacked_commits == 2
+        assert db.txn_mgr.group_commit_acks == 0
+        db.flush_commits()
+        assert db.log.stats.forces == before + 1
+        assert db.txn_mgr.unacked_commits == 0
+        assert db.txn_mgr.group_commit_acks == 2
+
+    def test_window_one_forces_every_commit(self):
+        db = make_db(1)
+        table = make_table(db)
+        before = db.log.stats.forces
+        for k in range(3):
+            insert_one(db, table, k)
+        assert db.log.stats.forces - before == 3
+        assert db.txn_mgr.unacked_commits == 0
+
+    def test_flush_commits_is_a_noop_when_drained(self):
+        db = make_db(4)
+        make_table(db)
+        before = db.log.stats.forces
+        db.flush_commits()
+        assert db.log.stats.forces == before
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            make_db(0)
+
+    def test_commit_returns_timestamp_before_force(self):
+        """Late choice is unchanged: the timestamp exists at enqueue time."""
+        db = make_db(8)
+        table = make_table(db)
+        txn = db.begin()
+        table.insert(txn, {"k": 1, "v": "a"})
+        ts = db.commit(txn)
+        assert ts is not None
+        assert db.txn_mgr.unacked_commits == 1
+
+    def test_durable_hook_fires_in_commit_order(self):
+        db = make_db(4)
+        table = make_table(db)
+        acked: list[int] = []
+        db.txn_mgr.durable_commit_hook = lambda txn: acked.append(txn.tid)
+        tids = []
+        for k in range(4):
+            txn = db.begin()
+            table.insert(txn, {"k": k, "v": "x"})
+            tids.append(txn.tid)
+            db.commit(txn)
+        assert acked == tids
+
+    def test_locks_release_at_enqueue(self):
+        """Early lock release: a later txn can touch the key before the
+        batch is forced — its commit record lands later in the log, so
+        durability order still matches commit order."""
+        db = make_db(8)
+        table = make_table(db)
+        insert_one(db, table, 1)
+        assert db.txn_mgr.unacked_commits == 1
+        with db.transaction() as txn:     # would deadlock if locks lingered
+            table.update(txn, 1, {"v": "second"})
+        assert db.txn_mgr.unacked_commits == 2
+
+
+class TestCrashSemantics:
+    def test_unforced_batch_rolls_back(self):
+        db = make_db(8)
+        table = make_table(db)
+        insert_one(db, table, 1)
+        insert_one(db, table, 2)
+        assert db.txn_mgr.unacked_commits == 2
+        db.crash_and_recover()
+        table = db.table("t")
+        with db.transaction() as txn:
+            assert table.read(txn, 1) is None
+            assert table.read(txn, 2) is None
+
+    def test_forced_batch_survives(self):
+        db = make_db(4)
+        table = make_table(db)
+        for k in range(4):                # fills the window -> forced
+            insert_one(db, table, k)
+        db.crash_and_recover()
+        table = db.table("t")
+        with db.transaction() as txn:
+            assert len(table.scan(txn)) == 4
+
+    def test_crash_loses_exactly_the_unforced_suffix(self):
+        db = make_db(4)
+        table = make_table(db)
+        for k in range(4):                # forced batch
+            insert_one(db, table, k)
+        insert_one(db, table, 4)          # enqueued only
+        insert_one(db, table, 5)
+        db.crash_and_recover()
+        table = db.table("t")
+        with db.transaction() as txn:
+            rows = {r["k"] for r in table.scan(txn)}
+        assert rows == {0, 1, 2, 3}
+
+    def test_page_flush_forces_wal_and_acks_batch(self):
+        """WAL rule: flushing a page forces the log first, which (forces
+        being all-or-nothing) also makes the pending batch durable."""
+        db = make_db(8)
+        table = make_table(db)
+        insert_one(db, table, 1)
+        assert db.txn_mgr.unacked_commits == 1
+        db.buffer.flush_all()
+        assert db.txn_mgr.unacked_commits == 0
+        db.crash_and_recover()
+        table = db.table("t")
+        with db.transaction() as txn:
+            assert table.read(txn, 1)["v"] == "v1"
+
+
+class TestStampingGate:
+    def test_stamping_declines_while_commit_unforced(self):
+        db = make_db(8)
+        table = make_table(db)
+        insert_one(db, table, 1)
+        assert db.txn_mgr.unacked_commits == 1
+        pages = [
+            p for p in db.buffer.cached_pages()
+            if getattr(p, "table_id", None) and p.has_unstamped_records()
+        ]
+        assert pages, "expected an unstamped data page in the pool"
+        assert sum(db.tsmgr.stamp_page(p) for p in pages) == 0
+        db.flush_commits()
+        assert sum(db.tsmgr.stamp_page(p) for p in pages) >= 1
+
+    def test_flush_hook_leaves_unforced_versions_unstamped(self):
+        """The pre-flush stamping hook runs before the WAL force, so a
+        version of an un-acked commit reaches disk unstamped — and the
+        as-of read path still resolves it through the PTT afterwards."""
+        db = make_db(8)
+        table = make_table(db)
+        stamps_before = db.tsmgr.stats.stamps
+        insert_one(db, table, 1)
+        db.buffer.flush_all()
+        # The hook saw the version before the force: it must have declined.
+        assert db.tsmgr.stats.stamps == stamps_before
+        db.crash_and_recover()
+        table = db.table("t")
+        with db.transaction() as txn:
+            assert table.read(txn, 1)["v"] == "v1"
+
+
+class TestCrashExploration:
+    # Mirrors SMALL in test_crashtest.py, with a group-commit window.
+    CONFIG = CrashTestConfig(
+        seed=0, transactions=18, keys=8, checkpoint_every=5, mark_every=3,
+        buffer_pages=6, value_pad=500, group_commit_window=4,
+    )
+
+    def test_groupcommit_seams_enumerated(self):
+        names = set(enumerate_crossings(self.CONFIG))
+        assert "txn.groupcommit.enqueue" in names
+        assert "txn.groupcommit.force" in names
+        assert "txn.groupcommit.ack" in names
+
+    def test_sampled_exploration_is_clean(self):
+        result = explore(self.CONFIG, max_points=40)
+        assert result.ok, [
+            (r.crossing, r.name, r.problems) for r in result.failures
+        ]
+        assert any(n.startswith("txn.groupcommit") for n in result.by_name)
