@@ -48,12 +48,25 @@ COUNTER_KEYS = (
     "commits", "log_forces", "log_appends", "log_bytes",
     "page_flushes", "buffer_evictions", "disk_writes",
     "disk_sequential_writes", "stamps", "version_ops",
+    "asof_page_reads", "asof_chain_steps",
+    "route_cache_hits", "route_cache_misses",
 )
 
 
-def _build_db(tmpdir: str, *, group_commit_window: int) -> ImmortalDB:
+def _build_db(
+    tmpdir: str, *, group_commit_window: int, route_cache: bool = False,
+    buffer_pages: int = 256,
+) -> ImmortalDB:
     path = os.path.join(tmpdir, "bench.db")
-    kwargs = dict(path=path, buffer_pages=256, ms_per_commit=5.0)
+    kwargs = dict(path=path, buffer_pages=buffer_pages, ms_per_commit=5.0)
+    if route_cache:
+        try:
+            return ImmortalDB(
+                group_commit_window=group_commit_window,
+                asof_route_cache=True, **kwargs,
+            )
+        except TypeError:
+            pass  # pre-route-cache engine: fall through
     try:
         return ImmortalDB(group_commit_window=group_commit_window, **kwargs)
     except TypeError:
@@ -141,6 +154,57 @@ def _run_asof(db: ImmortalDB, table, marks, queries: int, keys: int) -> int:
     return queries
 
 
+def _scan_iter(table, ts):
+    """Streaming as-of scan with list() fallback for older tables."""
+    it = getattr(table, "scan_as_of_iter", None)
+    return it(ts) if it is not None else iter(table.scan_as_of(ts))
+
+
+def _run_scan_asof(db: ImmortalDB, table, marks, queries: int) -> int:
+    """Full-table AS OF scans against deep history, random time marks."""
+    rng = random.Random(SEED + 4)
+    total = 0
+    for _ in range(queries):
+        ts = marks[rng.randrange(len(marks))]
+        rows = table.scan_as_of(ts)
+        assert rows, "as-of scan returned nothing at a known mark"
+        total += len(rows)
+    assert total > 0
+    return queries
+
+
+def _run_scan_range(db: ImmortalDB, table, marks, queries: int,
+                    keys: int) -> int:
+    """Narrow range scans plus LIMIT-style early-stopped as-of scans."""
+    rng = random.Random(SEED + 5)
+    span = max(4, keys // 16)
+    for i in range(queries):
+        if i % 2 == 0:
+            low = rng.randrange(keys - span)
+            with db.transaction() as txn:
+                rows = table.scan_range(txn, low, low + span - 1)
+            assert rows
+        else:
+            # First-10-rows consumer: streaming scans stop early here.
+            ts = marks[rng.randrange(len(marks))]
+            first = []
+            for row in _scan_iter(table, ts):
+                first.append(row)
+                if len(first) >= 10:
+                    break
+            assert first
+    return queries
+
+
+def _run_history(db: ImmortalDB, table, queries: int, keys: int) -> int:
+    rng = random.Random(SEED + 6)
+    for _ in range(queries):
+        key = rng.randrange(keys)
+        versions = table.history(key)
+        assert versions, "history query found no versions for a loaded key"
+    return queries
+
+
 def _measure(db: ImmortalDB, fn) -> dict:
     from repro.bench.costmodel import COST_2005, stats_delta
 
@@ -186,6 +250,27 @@ def run_workloads(*, quick: bool, group_commit_window: int) -> dict:
         marks = _prepare_asof(db, table, keys, versions=4)
         results["asof"] = _measure(
             db, lambda: _run_asof(db, table, marks, 300 * scale, keys)
+        )
+        db.close()
+
+    # Historical scan workloads run with the as-of route cache enabled
+    # (ignored by engines that predate it) over a deeper history: more
+    # versions per key force time splits, so every query routes through
+    # history-page chains — the path the cache accelerates.
+    with tempfile.TemporaryDirectory(prefix="bench_throughput_") as tmp:
+        db = _build_db(tmp, group_commit_window=group_commit_window,
+                       route_cache=True, buffer_pages=1024)
+        table = _make_table(db)
+        keys = 40 * scale
+        marks = _prepare_asof(db, table, keys, versions=10)
+        results["scan_asof"] = _measure(
+            db, lambda: _run_scan_asof(db, table, marks, 12 * scale)
+        )
+        results["scan_range"] = _measure(
+            db, lambda: _run_scan_range(db, table, marks, 40 * scale, keys)
+        )
+        results["history"] = _measure(
+            db, lambda: _run_history(db, table, 40 * scale, keys)
         )
         db.close()
 

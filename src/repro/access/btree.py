@@ -172,9 +172,11 @@ class BTree:
         #   stamp_page(leaf) -> int: lazy-timestamping trigger before a split
         #   prune_page(leaf) -> (DataPage, int): snapshot GC for conventional
         #   history_index.on_time_split(...): TSB index maintenance (optional)
+        #   route_cache: as-of route cache to notify on structure changes
         self.stamp_page: Callable[[DataPage], int] | None = None
         self.prune_page: Callable[[DataPage], tuple[DataPage, int]] | None = None
         self.history_index = None
+        self.route_cache = None
 
         if root_pid is None:
             leaf = self.buffer.new_page(
@@ -242,18 +244,26 @@ class BTree:
             leaf = nxt
 
     def leaves_with_bounds(
-        self,
+        self, start_key: bytes | None = None
     ) -> Iterator[tuple[DataPage, bytes, bytes | None]]:
         """(leaf, key_low, key_high) in key order, by index traversal.
 
         After key splits, sibling leaves share history pages; as-of scans
         need each leaf's key bounds to avoid double-counting shared history.
+
+        ``start_key`` prunes the traversal: subtrees whose entire key range
+        lies strictly below it are skipped (range scans start at the right
+        leaf in logarithmic time instead of walking every leaf).
         """
         root = self._page(self.root_pid)
-        yield from self._walk(root, b"", None)
+        yield from self._walk(root, b"", None, start_key)
 
     def _walk(
-        self, node: Page, low: bytes, high: bytes | None
+        self,
+        node: Page,
+        low: bytes,
+        high: bytes | None,
+        start_key: bytes | None = None,
     ) -> Iterator[tuple[DataPage, bytes, bytes | None]]:
         if isinstance(node, DataPage):
             yield node, low, high
@@ -262,7 +272,12 @@ class BTree:
         for i, child_pid in enumerate(node.children):
             child_low = node.seps[i - 1] if i > 0 else low
             child_high = node.seps[i] if i < len(node.seps) else high
-            yield from self._walk(self._page(child_pid), child_low, child_high)
+            if start_key is not None and child_high is not None \
+                    and child_high <= start_key:
+                continue  # entire subtree below the range start
+            yield from self._walk(
+                self._page(child_pid), child_low, child_high, start_key
+            )
 
     # -- insertion ------------------------------------------------------------
 
@@ -379,6 +394,8 @@ class BTree:
         new_root.children = [moved.page_id]
         self.buffer.replace_page(new_root)
         self.buffer.replace_page(moved)
+        if self.route_cache is not None:
+            self.route_cache.invalidate(leaf.page_id)
         self.stats.root_growths += 1
         self._log_smo(SMOReason.INDEX_POST, [new_root, moved])
         return moved
@@ -451,6 +468,8 @@ class BTree:
         self.stats.time_splits += 1
         self.buffer.replace_page(outcome.current)
         self.buffer.replace_page(outcome.history)
+        if self.route_cache is not None:
+            self.route_cache.on_time_split(outcome)
         affected: list[Page] = [outcome.current, outcome.history]
         if self.history_index is not None:
             key_low, key_high = self._bounds_from_path(path)
@@ -518,6 +537,8 @@ class BTree:
             path = [(root, 0)]
         right_pid = self.buffer.disk.allocate()
         left, right, sep = key_split_page(leaf, right_pid)
+        if self.route_cache is not None:
+            self.route_cache.invalidate(leaf.page_id)
         self.stats.key_splits += 1
         self.buffer.replace_page(left)
         self.buffer.replace_page(right)

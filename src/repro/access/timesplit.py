@@ -49,6 +49,17 @@ class SplitOutcome:
     retained: int = 0     # case 3 + 4 versions (current only)
     stubs_dropped: int = 0
 
+    @property
+    def routing_interval(self) -> tuple[Timestamp, Timestamp, int]:
+        """``(split_ts, end_ts, page_id)`` of the new history page.
+
+        This is the one interval a time split appends to the leaf's routing
+        chain; an as-of route cache can extend its memoized interval list
+        with it instead of re-walking the whole chain.
+        """
+        return (self.history.split_ts, self.history.end_ts,
+                self.history.page_id)
+
 
 def time_split_page(
     page: DataPage,

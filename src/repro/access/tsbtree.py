@@ -210,6 +210,12 @@ class TSBHistoryIndex:
             self.root_pid = root_pid
         self.searches = 0
         self.nodes_visited = 0
+        # (key, ts) -> page id memo for repeated as-of lookups.  Leaf-entry
+        # rectangles are immutable once inserted, so a positive answer can
+        # never go stale; the memo is still cleared on every insert (and on
+        # crash) for an obviously-sound invalidation story.
+        self._search_memo: dict[tuple[bytes, Timestamp], int | None] = {}
+        self._memo_limit = 8192
 
     # -- hooks called by the B-tree during splits --------------------------------
 
@@ -254,6 +260,25 @@ class TSBHistoryIndex:
                 return hit.child_pid
             node = self._node(hit.child_pid)
 
+    def cached_search(
+        self, key: bytes, t: Timestamp
+    ) -> tuple[int | None, bool]:
+        """Memoized :meth:`search`: (page id or None, answered-from-cache?)."""
+        memo_key = (key, t)
+        try:
+            return self._search_memo[memo_key], True
+        except KeyError:
+            pass
+        pid = self.search(key, t)
+        if len(self._search_memo) >= self._memo_limit:
+            self._search_memo.clear()
+        self._search_memo[memo_key] = pid
+        return pid, False
+
+    def clear_cache(self) -> None:
+        """Drop the search memo (crash / recovery)."""
+        self._search_memo.clear()
+
     def insert(self, rect: Rect, page_id: int) -> list[Page]:
         """Add a history-page entry; returns every index node modified.
 
@@ -261,6 +286,7 @@ class TSBHistoryIndex:
         node met), then the descent restarts — so a split only ever posts to
         a parent that was verified non-full earlier in the same descent.
         """
+        self._search_memo.clear()
         modified: list[Page] = []
         entry = TSBEntry(rect, page_id, child_is_leaf=True)
         for _ in range(64):

@@ -41,6 +41,12 @@ class CostModel:
     chain_hop_ms: float = 0.65         # follow one history-page link
     tsb_lookup_ms: float = 0.40        # TSB index descent
     smo_log_ms: float = 0.60           # one physiological split log record
+    # Structural read-path counters.  Priced at zero in the 2005 calibration
+    # so the figure benchmarks are unchanged; non-zero rates let ablations
+    # price page touches, chain traversal, and route-cache probes directly.
+    page_read_ms: float = 0.0          # touch one data page on a read path
+    chain_step_ms: float = 0.0         # inspect one version in a chain
+    route_probe_ms: float = 0.0        # one as-of route-cache probe
 
     def simulated_ms(self, delta: dict) -> float:
         """Price a stats delta (see :meth:`ImmortalDB.stats`)."""
@@ -76,6 +82,12 @@ class CostModel:
             + delta.get("asof_pages_examined", 0) * self.asof_page_scan_ms
             + delta.get("asof_chain_hops", 0) * self.chain_hop_ms
             + delta.get("tsb_lookups", 0) * self.tsb_lookup_ms
+            + delta.get("asof_page_reads", 0) * self.page_read_ms
+            + delta.get("asof_chain_steps", 0) * self.chain_step_ms
+            + (
+                delta.get("route_cache_hits", 0)
+                + delta.get("route_cache_misses", 0)
+            ) * self.route_probe_ms
         )
 
 

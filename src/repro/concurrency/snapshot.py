@@ -32,6 +32,7 @@ def visible_version(
     inclusive: bool,
     resolve: Resolver,
     own_tid: int | None = None,
+    stats=None,
 ) -> RecordVersion | None:
     """Pick the version a reader should see from a newest-first chain.
 
@@ -43,8 +44,14 @@ def visible_version(
 
     Versions written by *other* active transactions are skipped: they are
     invisible at any horizon.
+
+    ``stats`` (an :class:`~repro.core.asof.AsOfStats`, when provided) counts
+    one ``chain_steps`` per version examined — structural read work for the
+    bench output; never affects the outcome.
     """
     for version in chain:
+        if stats is not None:
+            stats.chain_steps += 1
         if not version.is_timestamped:
             if own_tid is not None and version.tid == own_tid:
                 if horizon is None:

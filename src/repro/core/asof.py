@@ -13,15 +13,33 @@ Query processing follows Section 4.2 exactly:
 
 Step 4 only ever needs one page because of the time split's case-2
 redundancy: every page contains all versions alive in its time range.
+
+Two read-path caches live here, both off by default (the engine's
+``asof_route_cache`` knob turns them on together):
+
+* :class:`AsOfRouteCache` memoizes the step-3 chain walk per current leaf:
+  one full walk records every ``[split_ts, end_ts)`` interval on the chain,
+  and later queries binary-search the interval list instead of re-walking
+  pages.  Entries are validated against the leaf's
+  :attr:`~repro.storage.page.Page.cache_token` (instance stamp + mutation
+  epoch), so any leaf mutation — insert, stamping, time split — invalidates
+  the route; history pages are immutable once created, so the recorded
+  intervals themselves can never go stale while the leaf is unchanged.
+* :class:`PageViewCache` memoizes step 4 per (page, token): for every key it
+  partitions the chain into the unstamped (TID-marked) prefix and an
+  *ascending* array of stamped timestamps, so visibility is one bisect
+  instead of a linear walk constructing a Timestamp per version.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 from repro.clock import Timestamp
 from repro.concurrency.snapshot import Resolver, visible_version
 from repro.errors import AccessMethodError
+from repro.faults.failpoints import fire
 from repro.storage.buffer import BufferPool
 from repro.storage.page import DataPage
 from repro.storage.record import RecordVersion
@@ -29,17 +47,23 @@ from repro.storage.record import RecordVersion
 
 @dataclass
 class AsOfStats:
-    """Instrumentation for the Fig-6 / Abl-2 benches."""
+    """Instrumentation for the Fig-6 / Abl-2 benches and the read path."""
 
     queries: int = 0
     chain_hops: int = 0          # history pages walked through
     pages_examined: int = 0
     tsb_lookups: int = 0
+    page_reads: int = 0          # data pages fetched by read operations
+    chain_steps: int = 0         # record versions examined for visibility
+    route_cache_hits: int = 0
+    route_cache_misses: int = 0
 
     def snapshot(self) -> "AsOfStats":
         """An independent copy of the current counter values."""
         return AsOfStats(
-            self.queries, self.chain_hops, self.pages_examined, self.tsb_lookups
+            self.queries, self.chain_hops, self.pages_examined,
+            self.tsb_lookups, self.page_reads, self.chain_steps,
+            self.route_cache_hits, self.route_cache_misses,
         )
 
 
@@ -61,6 +85,7 @@ def page_for_time(
         if not next_pid:
             if stats is not None:
                 stats.chain_hops += hops
+                stats.page_reads += hops + 1
             return None
         nxt = buffer.get_page(next_pid)
         if not isinstance(nxt, DataPage) or not nxt.is_history:
@@ -73,6 +98,7 @@ def page_for_time(
     if stats is not None:
         stats.chain_hops += hops
         stats.pages_examined += 1
+        stats.page_reads += hops + 1
     if page.is_history and ts >= page.end_ts:
         raise AccessMethodError(
             f"page chain routing error: {ts} not in "
@@ -95,3 +121,343 @@ def version_as_of(
     return visible_version(
         page.chain(key), horizon=ts, inclusive=True, resolve=resolve
     )
+
+
+# -- as-of route cache ---------------------------------------------------------
+
+
+class _RouteEntry:
+    """Interval list for one leaf's time-split chain, oldest first."""
+
+    __slots__ = ("token", "structure", "bounds", "pids")
+
+    def __init__(
+        self,
+        token: tuple[int, int],
+        structure: tuple[int, Timestamp],
+        bounds: list[Timestamp],
+        pids: list[int],
+    ) -> None:
+        self.token = token
+        # (history_page_id, split_ts) of the leaf when the entry was built:
+        # the only leaf fields routing depends on.  When the mutation epoch
+        # moved but these did not (a record insert, a stamping pass), the
+        # intervals are still exact and the entry is revalidated in place.
+        self.structure = structure
+        self.bounds = bounds   # ascending split_ts; bounds[i] starts pids[i]
+        self.pids = pids       # pids[-1] is the current leaf itself
+
+
+class AsOfRouteCache:
+    """Memoized ``page_for_time``: per-leaf interval lists keyed by epoch.
+
+    A cache entry is valid exactly while the leaf's ``cache_token`` is
+    unchanged; any mutation (insert, stamping, split — all of which bump the
+    mutation epoch, or replace the page object entirely) invalidates it.
+    History pages are never modified after creation, so a valid token also
+    vouches for every interval recorded behind the leaf.
+    """
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        stats: AsOfStats,
+        *,
+        max_entries: int = 4096,
+    ) -> None:
+        self.buffer = buffer
+        self.stats = stats
+        self.max_entries = max_entries
+        self._entries: dict[int, _RouteEntry] = {}
+
+    def clear(self) -> None:
+        """Drop every cached route (crash / recovery / DDL)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def route(self, leaf: DataPage, ts: Timestamp) -> DataPage | None:
+        """The page of ``leaf``'s chain covering ``ts`` (None: before history)."""
+        stats = self.stats
+        entry = self._entries.get(leaf.page_id)
+        if entry is not None and self._validate(entry, leaf):
+            fire("asof.route.hit")
+            stats.route_cache_hits += 1
+        else:
+            if entry is not None:
+                fire("asof.route.invalidate")
+                del self._entries[leaf.page_id]
+            fire("asof.route.miss")
+            stats.route_cache_misses += 1
+            entry = self._build(leaf)
+        i = bisect_right(entry.bounds, ts) - 1
+        if i < 0:
+            return None  # ts predates all recorded history for this leaf
+        pid = entry.pids[i]
+        stats.pages_examined += 1
+        stats.page_reads += 1
+        if pid == leaf.page_id:
+            return leaf
+        page = self.buffer.get_page(pid)
+        if not isinstance(page, DataPage):
+            raise AccessMethodError(
+                f"route cache of leaf {leaf.page_id} led to non-data "
+                f"page {pid}"
+            )
+        if page.is_history and ts >= page.end_ts:
+            raise AccessMethodError(
+                f"route cache error: {ts} not in "
+                f"[{page.split_ts}, {page.end_ts}) of page {page.page_id}"
+            )
+        return page
+
+    def _validate(self, entry: _RouteEntry, leaf: DataPage) -> bool:
+        """Fast epoch check, falling back to structural revalidation.
+
+        Routing depends only on the leaf's ``history_page_id`` and
+        ``split_ts``: content mutations (inserts, stamping) bump the epoch
+        without moving either, so the intervals remain exact — refresh the
+        stored token and keep the entry.  A different *object* (a split
+        installed via ``replace_page``) always fails both checks.
+        """
+        token = leaf.cache_token
+        if entry.token == token:
+            return True
+        if entry.token[0] == token[0] \
+                and entry.structure == (leaf.history_page_id, leaf.split_ts):
+            entry.token = token
+            return True
+        return False
+
+    def on_time_split(self, outcome) -> None:
+        """Extend a cached route across a time split instead of dropping it.
+
+        The split's :attr:`~repro.access.timesplit.SplitOutcome.routing_interval`
+        is exactly the interval the chain gained; the rebuilt current page
+        keeps the page id, so the old entry (if its shape matches) becomes
+        the new entry with one append.
+        """
+        leaf = outcome.current
+        old = self._entries.pop(leaf.page_id, None)
+        if old is None:
+            return
+        split_ts, end_ts, history_pid = outcome.routing_interval
+        if not old.bounds or old.bounds[-1] != split_ts \
+                or old.pids[-1] != leaf.page_id:
+            fire("asof.route.invalidate")
+            return  # entry predates an unseen structural change: drop it
+        self._entries[leaf.page_id] = _RouteEntry(
+            leaf.cache_token,
+            (leaf.history_page_id, leaf.split_ts),
+            old.bounds + [end_ts],
+            old.pids[:-1] + [history_pid, leaf.page_id],
+        )
+
+    def invalidate(self, leaf_pid: int) -> None:
+        """Eagerly drop one leaf's cached route (key splits, root growth)."""
+        if self._entries.pop(leaf_pid, None) is not None:
+            fire("asof.route.invalidate")
+
+    def _build(self, leaf: DataPage) -> _RouteEntry:
+        """Walk the whole chain once; record every interval, newest first."""
+        bounds: list[Timestamp] = []
+        pids: list[int] = []
+        page: DataPage = leaf
+        while True:
+            bounds.append(page.split_ts)
+            pids.append(page.page_id)
+            next_pid = page.history_page_id
+            if not next_pid:
+                break
+            nxt = self.buffer.get_page(next_pid)
+            if not isinstance(nxt, DataPage) or not nxt.is_history:
+                raise AccessMethodError(
+                    f"history chain of page {page.page_id} hit non-history "
+                    f"page {next_pid}"
+                )
+            self.stats.chain_hops += 1
+            self.stats.page_reads += 1
+            page = nxt
+        bounds.reverse()
+        pids.reverse()
+        entry = _RouteEntry(
+            leaf.cache_token,
+            (leaf.history_page_id, leaf.split_ts),
+            bounds,
+            pids,
+        )
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[leaf.page_id] = entry
+        return entry
+
+
+# -- page view cache (batched resolution + bisect visibility) ------------------
+
+
+class _ChainView:
+    """One key's chain, pre-sorted for binary-search visibility.
+
+    ``unstamped`` holds the TID-marked prefix newest first; ``ts_list`` /
+    ``versions`` are the stamped suffix in *ascending* timestamp order.  If
+    the chain violates the prefix/monotonicity invariant (it never should),
+    ``linear`` holds the raw chain and visibility falls back to the exact
+    linear walk.
+
+    ``rows`` memoizes decoded rows keyed by ``id(version)`` (None for delete
+    stubs).  The view keeps every version it references alive, so the ids
+    are stable for exactly as long as the view itself is valid — the memo
+    can never outlive the data it describes.
+    """
+
+    __slots__ = ("unstamped", "ts_list", "versions", "linear", "rows")
+
+    def __init__(
+        self,
+        unstamped: list[RecordVersion],
+        ts_list: list[Timestamp],
+        versions: list[RecordVersion],
+        linear: list[RecordVersion] | None,
+    ) -> None:
+        self.unstamped = unstamped
+        self.ts_list = ts_list
+        self.versions = versions
+        self.linear = linear
+        self.rows: dict[int, dict | None] = {}
+
+    def decoded(self, version: RecordVersion, key: bytes, codec) -> dict | None:
+        """Decode ``version`` through the memo; None for delete stubs.
+
+        Returns a fresh copy per call so callers can mutate their row.
+        """
+        vid = id(version)
+        row = self.rows.get(vid, _MISSING)
+        if row is _MISSING:
+            row = (
+                None if version.is_delete_stub
+                else codec.decode_row(key, version.payload)
+            )
+            self.rows[vid] = row
+        return dict(row) if row is not None else None
+
+
+_MISSING = object()
+
+
+PageView = dict[bytes, _ChainView]
+
+
+class PageViewCache:
+    """Per-page chain views keyed by the page's cache token."""
+
+    def __init__(self, stats: AsOfStats, *, max_pages: int = 1024) -> None:
+        self.stats = stats
+        self.max_pages = max_pages
+        self._views: dict[int, tuple[tuple[int, int], PageView]] = {}
+
+    def clear(self) -> None:
+        self._views.clear()
+
+    def view(self, page: DataPage) -> PageView:
+        cached = self._views.get(page.page_id)
+        token = page.cache_token
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        view = _build_page_view(page)
+        if len(self._views) >= self.max_pages:
+            self._views.clear()
+        self._views[page.page_id] = (token, view)
+        return view
+
+
+def _build_page_view(page: DataPage) -> PageView:
+    view: PageView = {}
+    for key in page.keys():
+        unstamped: list[RecordVersion] = []
+        stamped: list[RecordVersion] = []
+        ordered = True
+        prev: Timestamp | None = None
+        for version in page.chain(key):
+            if not version.is_timestamped:
+                if stamped:
+                    ordered = False  # unstamped below stamped: not a prefix
+                    break
+                unstamped.append(version)
+                continue
+            ts = version.timestamp
+            if prev is not None and ts > prev:
+                ordered = False  # stamped run not descending (never expected)
+                break
+            prev = ts
+            stamped.append(version)
+        if not ordered:
+            view[key] = _ChainView([], [], [], list(page.chain(key)))
+            continue
+        stamped.reverse()
+        view[key] = _ChainView(
+            unstamped, [v.timestamp for v in stamped], stamped, None
+        )
+    return view
+
+
+def collect_unstamped_tids(view: PageView) -> set[int]:
+    """Every TID still marking a version in the page (one batch to resolve)."""
+    tids: set[int] = set()
+    for chain_view in view.values():
+        source = (
+            chain_view.linear
+            if chain_view.linear is not None
+            else chain_view.unstamped
+        )
+        for version in source:
+            if not version.is_timestamped:
+                tids.add(version.tid)
+    return tids
+
+
+def visible_in_view(
+    chain_view: _ChainView,
+    *,
+    horizon: Timestamp,
+    inclusive: bool,
+    memo: dict[int, tuple[Timestamp | None, bool]],
+    own_tid: int | None,
+    stats: AsOfStats,
+) -> RecordVersion | None:
+    """Bisect-based :func:`visible_version` over a pre-built chain view.
+
+    ``memo`` is the per-scan TID→(timestamp, committed) map produced by
+    :meth:`TimestampManager.resolve_many`; it replaces per-version resolver
+    calls.  Semantics match the linear walk exactly: the unstamped prefix is
+    newer than every stamped version, so a committed-in-memo unstamped
+    version at or before the horizon wins; otherwise the newest stamped
+    version at or before the horizon does.
+    """
+    if chain_view.linear is not None:
+        return visible_version(
+            chain_view.linear, horizon=horizon, inclusive=inclusive,
+            resolve=lambda tid: memo[tid], own_tid=own_tid, stats=stats,
+        )
+    for version in chain_view.unstamped:
+        stats.chain_steps += 1
+        if version.is_timestamped:
+            ts: Timestamp | None = version.timestamp
+        else:
+            if own_tid is not None and version.tid == own_tid:
+                continue  # own writes are newer than any snapshot horizon
+            ts, committed = memo[version.tid]
+            if not committed:
+                continue
+        assert ts is not None
+        if ts < horizon or (inclusive and ts == horizon):
+            return version
+    ts_list = chain_view.ts_list
+    if inclusive:
+        i = bisect_right(ts_list, horizon)
+    else:
+        i = bisect_left(ts_list, horizon)
+    if i:
+        stats.chain_steps += 1
+        return chain_view.versions[i - 1]
+    return None

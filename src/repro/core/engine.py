@@ -24,7 +24,7 @@ from repro.clock import SimClock, Timestamp
 from repro.concurrency.locks import LockManager
 from repro.concurrency.snapshot import SnapshotRegistry, prune_conventional_page
 from repro.concurrency.transaction import Transaction, TransactionManager, TxnMode
-from repro.core.asof import AsOfStats
+from repro.core.asof import AsOfRouteCache, AsOfStats, PageViewCache
 from repro.core.catalog import Catalog, ColumnDef, TableSchema
 from repro.core.rowcodec import ColumnType
 from repro.core.table import Table
@@ -64,6 +64,7 @@ class ImmortalDB:
         disk: PageStore | None = None,
         page_checksums: bool = False,
         group_commit_window: int = 1,
+        asof_route_cache: bool = False,
     ) -> None:
         if timestamping not in ("lazy", "eager"):
             raise ValueError("timestamping must be 'lazy' or 'eager'")
@@ -102,6 +103,16 @@ class ImmortalDB:
         self.checkpoints = CheckpointManager(self.log, self.buffer)
         self.snapshots = SnapshotRegistry()
         self.asof_stats = AsOfStats()
+        # Optional historical-read accelerators.  Off by default: the plain
+        # as-of path stays counter-for-counter identical to the original
+        # implementation, which the figure benchmarks depend on.
+        self.route_cache = (
+            AsOfRouteCache(self.buffer, self.asof_stats)
+            if asof_route_cache else None
+        )
+        self.page_views = (
+            PageViewCache(self.asof_stats) if asof_route_cache else None
+        )
         self.version_ops = 0       # record versions created (cost model)
         self.tables: dict[str, Table] = {}
         self._tables_by_id: dict[int, Table] = {}
@@ -153,6 +164,7 @@ class ImmortalDB:
             )
         btree.stamp_page = self.tsmgr.stamp_page
         btree.history_index = history_index
+        btree.route_cache = self.route_cache
         table = Table(self, schema, btree, history_index)
         if not schema.immortal:
             btree.prune_page = self._make_prune_hook(table)
@@ -353,6 +365,15 @@ class ImmortalDB:
         self.log.crash()
         self.txn_mgr.discard_pending_commits()
         self.tsmgr.rebuild_after_crash()
+        # Cached as-of routes and page views refer to pre-crash page objects;
+        # recovery must rebuild them from durable state, never serve them.
+        if self.route_cache is not None:
+            self.route_cache.clear()
+        if self.page_views is not None:
+            self.page_views.clear()
+        for table in self.tables.values():
+            if table.history_index is not None:
+                table.history_index.clear_cache()
         self.snapshots.clear()
         self.locks = LockManager()
         self.txn_mgr.locks = self.locks
@@ -459,4 +480,8 @@ class ImmortalDB:
             "asof_chain_hops": self.asof_stats.chain_hops,
             "asof_pages_examined": self.asof_stats.pages_examined,
             "tsb_lookups": self.asof_stats.tsb_lookups,
+            "asof_page_reads": self.asof_stats.page_reads,
+            "asof_chain_steps": self.asof_stats.chain_steps,
+            "route_cache_hits": self.asof_stats.route_cache_hits,
+            "route_cache_misses": self.asof_stats.route_cache_misses,
         }

@@ -24,9 +24,14 @@ from typing import TYPE_CHECKING, Iterator
 from repro.clock import Timestamp
 from repro.concurrency.snapshot import visible_version
 from repro.concurrency.transaction import Transaction, TxnMode
-from repro.core.asof import page_for_time
+from repro.core.asof import (
+    collect_unstamped_tids,
+    page_for_time,
+    visible_in_view,
+)
 from repro.core.catalog import TableSchema
 from repro.core.rowcodec import RowCodec
+from repro.faults.failpoints import fire
 from repro.errors import (
     DuplicateKeyError,
     KeyNotFoundError,
@@ -316,6 +321,8 @@ class Table:
             self.engine.locks.lock_record_shared(txn.tid, self.table_id, key)
         horizon, inclusive = self._horizon(txn)
         leaf = self.btree.search_leaf(key)
+        if horizon is not None and self.engine.route_cache is not None:
+            return self._read_cached(txn, leaf, key, horizon, inclusive)
         if horizon is None or horizon >= leaf.split_ts:
             page: DataPage | None = leaf
             if horizon is None:
@@ -328,12 +335,74 @@ class Table:
         version = visible_version(
             page.chain(key), horizon=horizon, inclusive=inclusive,
             resolve=self._resolve, own_tid=txn.tid,
+            stats=self.engine.asof_stats,
         )
         if version is None or version.is_delete_stub:
             return None
         if version.is_timestamped:
             self._validate_pinned(txn, version.timestamp)
         return self.codec.decode_row(key, version.payload)
+
+    def _read_cached(
+        self,
+        txn: Transaction,
+        leaf: DataPage,
+        key: bytes,
+        horizon: Timestamp,
+        inclusive: bool,
+    ) -> dict | None:
+        """Historical point read through the route + page-view caches."""
+        stats = self.engine.asof_stats
+        stats.queries += 1
+        if self.history_index is not None and horizon < leaf.split_ts:
+            page: DataPage | None = self._route_tsb_cached(leaf, key, horizon)
+        else:
+            page = self.engine.route_cache.route(leaf, horizon)
+        if page is None:
+            return None
+        chain_view = self.engine.page_views.view(page).get(key)
+        if chain_view is None:
+            return None
+        source = (
+            chain_view.linear
+            if chain_view.linear is not None
+            else chain_view.unstamped
+        )
+        tids = {v.tid for v in source if not v.is_timestamped}
+        memo: dict = {}
+        if tids:
+            self.engine.tsmgr.resolve_many(tids, memo, immortal=self.immortal)
+        version = visible_in_view(
+            chain_view, horizon=horizon, inclusive=inclusive,
+            memo=memo, own_tid=txn.tid, stats=stats,
+        )
+        if version is None:
+            return None
+        if version.is_timestamped:
+            self._validate_pinned(txn, version.timestamp)
+        return chain_view.decoded(version, key, self.codec)
+
+    def _route_tsb_cached(
+        self, leaf: DataPage, key: bytes, ts: Timestamp
+    ) -> DataPage | None:
+        """Memoized TSB-tree routing (the indexed flavour of the route cache)."""
+        stats = self.engine.asof_stats
+        pid, from_cache = self.history_index.cached_search(key, ts)
+        if from_cache:
+            fire("asof.route.hit")
+            stats.route_cache_hits += 1
+        else:
+            fire("asof.route.miss")
+            stats.route_cache_misses += 1
+            stats.tsb_lookups += 1
+        if pid is None:
+            return None
+        page = self.engine.buffer.get_page(pid)
+        if not isinstance(page, DataPage):
+            return None
+        stats.pages_examined += 1
+        stats.page_reads += 1
+        return page
 
     def read_as_of(self, ts: Timestamp, key_value) -> dict | None:
         """Convenience: autocommitted AS OF point read."""
@@ -365,33 +434,60 @@ class Table:
 
     def scan(self, txn: Transaction) -> list[dict]:
         """All live records visible to the transaction, in key order."""
+        return list(self.scan_iter(txn))
+
+    def scan_iter(self, txn: Transaction) -> Iterator[dict]:
+        """Streaming :meth:`scan`: rows are produced lazily, in key order.
+
+        Locking and validation happen eagerly at call time; row production
+        (page routing, visibility, decoding) happens as the iterator is
+        consumed, so a ``LIMIT``-style consumer stops the scan early instead
+        of paying for the whole table.
+        """
         txn.require_active()
         if txn.mode is TxnMode.SERIALIZABLE:
             self.engine.locks.lock_table_shared(txn.tid, self.table_id)
         horizon, inclusive = self._horizon(txn)
         if horizon is not None:
-            return self._scan_at(horizon, inclusive, own_tid=txn.tid)
-        rows: list[dict] = []
+            return self._scan_at_iter(horizon, inclusive, own_tid=txn.tid)
+        return self._scan_current_gen(txn)
+
+    def _scan_current_gen(self, txn: Transaction) -> Iterator[dict]:
+        stats = self.engine.asof_stats
         for leaf in self.btree.leaves():
+            # Reading triggers lazy timestamping (stage IV) — the same
+            # policy point reads follow; the per-version durability gate
+            # (group commit) is enforced inside stamp_page.
+            self.engine.tsmgr.stamp_page(leaf)
+            stats.page_reads += 1
             for key in leaf.keys():
                 version = visible_version(
                     leaf.chain(key), horizon=None, inclusive=False,
-                    resolve=self._resolve, own_tid=txn.tid,
+                    resolve=self._resolve, own_tid=txn.tid, stats=stats,
                 )
                 if version is not None and not version.is_delete_stub:
-                    rows.append(self.codec.decode_row(key, version.payload))
-        return rows
+                    yield self.codec.decode_row(key, version.payload)
 
     def scan_as_of(self, ts: Timestamp) -> list[dict]:
         """Full table scan AS OF ``ts`` (the Fig-6 query)."""
-        self._require_immortal_for_asof()
-        return self._scan_at(ts, inclusive=True, own_tid=None)
+        return list(self.scan_as_of_iter(ts))
 
-    def _scan_at(
+    def scan_as_of_iter(self, ts: Timestamp) -> Iterator[dict]:
+        """Streaming :meth:`scan_as_of` (see :meth:`scan_iter`)."""
+        self._require_immortal_for_asof()
+        return self._scan_at_iter(ts, inclusive=True, own_tid=None)
+
+    def _scan_at_iter(
         self, ts: Timestamp, inclusive: bool, own_tid: int | None
-    ) -> list[dict]:
+    ) -> Iterator[dict]:
+        if self.engine.route_cache is not None:
+            return self._scan_at_cached_gen(ts, inclusive, own_tid)
+        return self._scan_at_plain_gen(ts, inclusive, own_tid)
+
+    def _scan_at_plain_gen(
+        self, ts: Timestamp, inclusive: bool, own_tid: int | None
+    ) -> Iterator[dict]:
         stats = self.engine.asof_stats
-        rows: list[dict] = []
         for leaf, key_low, key_high in self.btree.leaves_with_bounds():
             stats.queries += 1
             page = page_for_time(self.engine.buffer, leaf, ts, stats)
@@ -404,11 +500,42 @@ class Table:
                     continue
                 version = visible_version(
                     page.chain(key), horizon=ts, inclusive=inclusive,
-                    resolve=self._resolve, own_tid=own_tid,
+                    resolve=self._resolve, own_tid=own_tid, stats=stats,
                 )
                 if version is not None and not version.is_delete_stub:
-                    rows.append(self.codec.decode_row(key, version.payload))
-        return rows
+                    yield self.codec.decode_row(key, version.payload)
+
+    def _scan_at_cached_gen(
+        self, ts: Timestamp, inclusive: bool, own_tid: int | None
+    ) -> Iterator[dict]:
+        """As-of scan through the route cache with batched TID resolution."""
+        stats = self.engine.asof_stats
+        route = self.engine.route_cache
+        views = self.engine.page_views
+        memo: dict = {}
+        for leaf, key_low, key_high in self.btree.leaves_with_bounds():
+            stats.queries += 1
+            page = route.route(leaf, ts)
+            if page is None:
+                continue
+            view = views.view(page)
+            tids = collect_unstamped_tids(view)
+            if tids:
+                self.engine.tsmgr.resolve_many(
+                    tids, memo, immortal=self.immortal
+                )
+            for key, chain_view in view.items():
+                if key < key_low or (key_high is not None and key >= key_high):
+                    continue
+                version = visible_in_view(
+                    chain_view, horizon=ts, inclusive=inclusive,
+                    memo=memo, own_tid=own_tid, stats=stats,
+                )
+                if version is None:
+                    continue
+                row = chain_view.decoded(version, key, self.codec)
+                if row is not None:
+                    yield row
 
     # -- time travel --------------------------------------------------------------------------------
 
@@ -424,15 +551,40 @@ class Table:
         ``(stub_time, None)``.  Bounds restrict to versions whose start time
         falls in ``[t_low, t_high]``.
         """
+        return list(self.history_iter(key_value, t_low, t_high))
+
+    def history_iter(
+        self,
+        key_value,
+        t_low: Timestamp | None = None,
+        t_high: Timestamp | None = None,
+    ) -> Iterator[tuple[Timestamp, dict | None]]:
+        """Streaming :meth:`history`: rows decode lazily as consumed.
+
+        The chain walk and timestamp ordering still happen up front (the
+        output is sorted oldest-first), but payload decoding — the dominant
+        per-row cost — is deferred to iteration, so a consumer that stops
+        after the first few versions never decodes the rest.
+        """
         self._require_immortal_for_asof()
         key = self.codec.encode_key(key_value)
         leaf = self.btree.search_leaf(key)
-        out: dict[Timestamp, dict | None] = {}
+        stats = self.engine.asof_stats
+        memoize = self.engine.route_cache is not None
+        memo: dict[int, tuple[Timestamp | None, bool]] = {}
+        out: dict[Timestamp, RecordVersion] = {}
         page: DataPage | None = leaf
         while page is not None:
+            stats.page_reads += 1
             for version in page.chain(key):
+                stats.chain_steps += 1
                 if not version.is_timestamped:
-                    ts, committed = self._resolve(version.tid)
+                    if memoize:
+                        if version.tid not in memo:
+                            memo[version.tid] = self._resolve(version.tid)
+                        ts, committed = memo[version.tid]
+                    else:
+                        ts, committed = self._resolve(version.tid)
                     if not committed:
                         continue
                 else:
@@ -443,18 +595,21 @@ class Table:
                 if t_high is not None and ts > t_high:
                     continue
                 if ts not in out:  # spanning copies appear in two pages
-                    out[ts] = (
-                        None
-                        if version.is_delete_stub
-                        else self.codec.decode_row(key, version.payload)
-                    )
+                    out[ts] = version
             next_pid = page.history_page_id
             page = (
                 self.engine.buffer.get_page(next_pid)  # type: ignore[assignment]
                 if next_pid
                 else None
             )
-        return sorted(out.items())
+        for ts in sorted(out):
+            version = out[ts]
+            yield (
+                ts,
+                None
+                if version.is_delete_stub
+                else self.codec.decode_row(key, version.payload),
+            )
 
     def scan_range(
         self,
@@ -468,42 +623,93 @@ class Table:
         B-tree to start at the right leaf instead of scanning from the
         first one.
         """
+        return list(self.scan_range_iter(txn, low, high))
+
+    def scan_range_iter(
+        self,
+        txn: Transaction,
+        low=None,
+        high=None,
+    ) -> Iterator[dict]:
+        """Streaming :meth:`scan_range` (see :meth:`scan_iter`).
+
+        Stops walking leaves as soon as a key above ``high`` is seen, and
+        descends the B-tree to skip leaves entirely below ``low``.
+        """
         txn.require_active()
         low_img = self.codec.encode_key(low) if low is not None else None
         high_img = self.codec.encode_key(high) if high is not None else None
         if txn.mode is TxnMode.SERIALIZABLE:
             self.engine.locks.lock_table_shared(txn.tid, self.table_id)
         horizon, inclusive = self._horizon(txn)
-        rows: list[dict] = []
-        started = False
-        for leaf, key_low, key_high in self.btree.leaves_with_bounds():
-            if not started:
-                if low_img is not None and key_high is not None \
-                        and key_high <= low_img:
-                    continue  # leaf entirely below the range
-                started = True
-            if horizon is not None:
+        return self._scan_range_gen(
+            txn, low_img, high_img, horizon, inclusive
+        )
+
+    def _scan_range_gen(
+        self,
+        txn: Transaction,
+        low_img: bytes | None,
+        high_img: bytes | None,
+        horizon: Timestamp | None,
+        inclusive: bool,
+    ) -> Iterator[dict]:
+        stats = self.engine.asof_stats
+        cached = horizon is not None and self.engine.route_cache is not None
+        memo: dict = {}
+        for leaf, key_low, key_high in self.btree.leaves_with_bounds(
+            start_key=low_img
+        ):
+            view = None
+            if horizon is None:
+                page = leaf
+                # Current-time reads trigger lazy timestamping, exactly as
+                # point reads do (stage IV of the stamping protocol).
+                self.engine.tsmgr.stamp_page(leaf)
+                stats.page_reads += 1
+            elif cached:
+                page = self.engine.route_cache.route(leaf, horizon)
+                if page is None:
+                    continue
+                view = self.engine.page_views.view(page)
+                tids = collect_unstamped_tids(view)
+                if tids:
+                    self.engine.tsmgr.resolve_many(
+                        tids, memo, immortal=self.immortal
+                    )
+            else:
                 page = page_for_time(
-                    self.engine.buffer, leaf, horizon, self.engine.asof_stats
+                    self.engine.buffer, leaf, horizon, stats
                 )
                 if page is None:
                     continue
-            else:
-                page = leaf
             for key in page.keys():
                 if key < key_low or (key_high is not None and key >= key_high):
                     continue
                 if low_img is not None and key < low_img:
                     continue
                 if high_img is not None and key > high_img:
-                    return rows
+                    return
+                if view is not None:
+                    chain_view = view.get(key)
+                    if chain_view is None:
+                        continue
+                    version = visible_in_view(
+                        chain_view, horizon=horizon, inclusive=inclusive,
+                        memo=memo, own_tid=txn.tid, stats=stats,
+                    )
+                    if version is None:
+                        continue
+                    row = chain_view.decoded(version, key, self.codec)
+                    if row is not None:
+                        yield row
+                    continue
                 version = visible_version(
                     page.chain(key), horizon=horizon, inclusive=inclusive,
-                    resolve=self._resolve, own_tid=txn.tid,
+                    resolve=self._resolve, own_tid=txn.tid, stats=stats,
                 )
                 if version is not None and not version.is_delete_stub:
-                    rows.append(self.codec.decode_row(key, version.payload))
-        return rows
+                    yield self.codec.decode_row(key, version.payload)
 
     def changes_between(
         self, t_old: Timestamp, t_new: Timestamp

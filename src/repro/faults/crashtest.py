@@ -61,6 +61,7 @@ class CrashTestConfig:
     buffer_pages: int = 8
     value_pad: int = 700
     group_commit_window: int = 1
+    route_cache: bool = False
 
     def repro_args(self, crossing: int) -> str:
         parts = [f"--seed {self.seed}"]
@@ -70,6 +71,8 @@ class CrashTestConfig:
             parts.append(f"--keys {self.keys}")
         if self.group_commit_window != CrashTestConfig.group_commit_window:
             parts.append(f"--group-commit {self.group_commit_window}")
+        if self.route_cache:
+            parts.append("--route-cache")
         parts.append(f"--crash-point {crossing}")
         return " ".join(parts)
 
@@ -156,6 +159,7 @@ def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
     db = ImmortalDB(
         buffer_pages=config.buffer_pages,
         group_commit_window=config.group_commit_window,
+        asof_route_cache=config.route_cache,
     )
     table = db.create_table(
         TABLE,
@@ -205,6 +209,19 @@ def run_workload(
             # no-op when group commit is off or the queue is empty).
             db.flush_commits()
             oracle.mark(db.now())
+            if config.route_cache and oracle.marks:
+                # Probe an earlier mark mid-workload: this warms the as-of
+                # route cache (adding asof.route.* crossings to explore)
+                # and checks it live against the oracle's snapshot.
+                ts, snapshot = oracle.marks[
+                    rng.randrange(len(oracle.marks))
+                ]
+                probed = {r["k"]: r["v"] for r in table.scan_as_of(ts)}
+                if probed != snapshot:
+                    raise AssertionError(
+                        f"mid-workload as-of divergence at {ts}: "
+                        f"{probed!r} != {snapshot!r}"
+                    )
         if i % config.checkpoint_every == config.checkpoint_every - 1:
             db.checkpoint(flush=(i // config.checkpoint_every) % 2 == 0)
 
@@ -355,6 +372,10 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N", help="group-commit window (1 = force per commit)",
     )
     parser.add_argument(
+        "--route-cache", action="store_true",
+        help="enable the as-of route cache and probe marks mid-workload",
+    )
+    parser.add_argument(
         "--max-points", type=int, default=0,
         help="explore at most N crossings, evenly sampled (0 = all)",
     )
@@ -366,6 +387,7 @@ def main(argv: list[str] | None = None) -> int:
     config = CrashTestConfig(
         seed=args.seed, transactions=args.transactions, keys=args.keys,
         group_commit_window=args.group_commit,
+        route_cache=args.route_cache,
     )
 
     if args.crash_point is not None:

@@ -12,7 +12,9 @@ the primary key becomes a B-tree point read instead of a scan.
 from __future__ import annotations
 
 import datetime as _dt
+import itertools
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.clock import Timestamp
 from repro.concurrency.transaction import Transaction, TxnMode
@@ -307,9 +309,9 @@ class Session:
             return []
         low, high = _key_range(where, key_column)
         if low is not None or high is not None:
-            candidates = table.scan_range(txn, low, high)
+            candidates = table.scan_range_iter(txn, low, high)
         else:
-            candidates = table.scan(txn)
+            candidates = table.scan_iter(txn)
         return [
             row[key_column]
             for row in candidates
@@ -386,24 +388,34 @@ class Session:
         if inline_as_of is not None:
             if pinned is not None:
                 row = table.read_as_of(inline_as_of, pinned)
-                candidates = [row] if row is not None else []
+                candidates: Iterable[dict] = [row] if row is not None else []
             else:
-                candidates = table.scan_as_of(inline_as_of)
+                candidates = table.scan_as_of_iter(inline_as_of)
         elif pinned is not None:
             row = table.read(txn, pinned)
             candidates = [row] if row is not None else []
         else:
             low, high = _key_range(stmt.where, key_column)
             if low is not None or high is not None:
-                candidates = table.scan_range(txn, low, high)
+                candidates = table.scan_range_iter(txn, low, high)
             else:
-                candidates = table.scan(txn)
-        rows = [row for row in candidates if _evaluate(stmt.where, row)]
+                candidates = table.scan_iter(txn)
+        filtered = (row for row in candidates if _evaluate(stmt.where, row))
         if stmt.order_by is not None:
-            column = stmt.order_by.column
-            rows.sort(key=lambda r: r[column], reverse=stmt.order_by.descending)
-        if stmt.limit is not None:
-            rows = rows[: stmt.limit]
+            # ORDER BY is a pipeline breaker: materialize, sort, then LIMIT.
+            rows = sorted(
+                filtered,
+                key=lambda r: r[stmt.order_by.column],
+                reverse=stmt.order_by.descending,
+            )
+            if stmt.limit is not None:
+                rows = rows[: stmt.limit]
+        elif stmt.limit is not None:
+            # LIMIT pushdown: stop consuming the scan after `limit` rows, so
+            # the streaming table iterators never touch the rest of the table.
+            rows = list(itertools.islice(filtered, stmt.limit))
+        else:
+            rows = list(filtered)
         if stmt.columns is not None:
             rows = [{c: row[c] for c in stmt.columns} for row in rows]
         return rows

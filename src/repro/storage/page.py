@@ -20,6 +20,7 @@ buffer pool can deserialize any raw page image.
 
 from __future__ import annotations
 
+import itertools
 import struct
 from bisect import bisect_left
 from typing import Callable, Iterator
@@ -63,10 +64,22 @@ class Page:
 
     _CACHE_ATTRS = frozenset({"_encode_epoch", "_image", "_image_epoch"})
 
+    # Process-wide monotonic id given to every page *object*.  A page id can
+    # be re-materialized as a fresh object (buffer reload, replace_page) whose
+    # epoch restarts near zero, so (page_id, epoch) alone cannot key an
+    # external cache soundly; (instance_stamp, epoch) can.
+    _instance_stamps = itertools.count(1)
+
     def __init__(self, page_id: int) -> None:
+        self._instance_stamp = next(Page._instance_stamps)
         self.page_id = page_id
         self.lsn = 0            # LSN of the last log record applied (WAL rule)
         self.header_flags = 0
+
+    @property
+    def cache_token(self) -> tuple[int, int]:
+        """Identity + mutation epoch: equal tokens ⇒ identical page content."""
+        return (self._instance_stamp, self._encode_epoch)
 
     def __setattr__(self, name: str, value) -> None:
         object.__setattr__(self, name, value)

@@ -157,6 +157,27 @@ class TimestampManager:
             self.vtt.cache_from_ptt(tid, self.recovery_fallback)
             return self.recovery_fallback, True
 
+    def resolve_many(
+        self,
+        tids: set[int],
+        memo: dict[int, tuple[Timestamp | None, bool]],
+        *,
+        immortal: bool = True,
+    ) -> dict[int, tuple[Timestamp | None, bool]]:
+        """Batched stage IV: resolve every TID in one VTT/PTT pass.
+
+        ``memo`` is a per-scan cache — TIDs already present cost nothing, so
+        a scan touching the same writer on every page pays one lookup total
+        instead of one per version.  The memo must not outlive the scan: an
+        entry of ``(None, False)`` (writer still active) goes stale the
+        moment that writer commits — harmless within one scan, since a
+        commit after the scan's horizon was drawn is invisible to it anyway.
+        """
+        for tid in tids:
+            if tid not in memo:
+                memo[tid] = self.resolve_with_fallback(tid, immortal=immortal)
+        return memo
+
     def stamp_version(self, version, *, immortal: bool = True) -> bool:
         """Try to timestamp one version; False if its writer is still active.
 
