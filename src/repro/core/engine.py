@@ -32,7 +32,8 @@ from repro.errors import CatalogError, SchemaError, TableNotFoundError
 from repro.faults.failpoints import fire
 from repro.storage.buffer import BufferPool
 from repro.storage.constants import META_PAGE_ID, PAGE_SIZE
-from repro.storage.disk import FileDisk, InMemoryDisk, PageStore
+from repro.repair.manager import MediaRecoveryManager
+from repro.storage.disk import FileDisk, InMemoryDisk, PageStore, RetryPolicy
 from repro.storage.page import DataPage, MetaPage
 from repro.timestamp.eager import EagerTimestampManager
 from repro.timestamp.manager import TimestampManager
@@ -65,6 +66,8 @@ class ImmortalDB:
         page_checksums: bool = False,
         group_commit_window: int = 1,
         asof_route_cache: bool = False,
+        media_recovery: bool = False,
+        io_retries: int = 0,
     ) -> None:
         if timestamping not in ("lazy", "eager"):
             raise ValueError("timestamping must be 'lazy' or 'eager'")
@@ -101,6 +104,19 @@ class ImmortalDB:
             group_commit_window=group_commit_window,
         )
         self.checkpoints = CheckpointManager(self.log, self.buffer)
+        # Media robustness, both off by default so the figure benchmarks and
+        # crash-point enumeration are untouched.  ``io_retries`` retries
+        # transient I/O errors at the disk seam with deterministic backoff;
+        # ``media_recovery`` attaches the archive/backup/restore machinery
+        # and turns on write read-back verification (the only inline defense
+        # against silently dropped writes).
+        self.scrubber = None     # a repair.Scrubber registers itself here
+        if io_retries:
+            self.disk.retry = RetryPolicy(io_retries, seed=0)
+        self.repair: MediaRecoveryManager | None = None
+        if media_recovery:
+            self.disk.verify_writes = True
+            self.repair = MediaRecoveryManager(self)
         self.snapshots = SnapshotRegistry()
         self.asof_stats = AsOfStats()
         # Optional historical-read accelerators.  Off by default: the plain
@@ -142,6 +158,10 @@ class ImmortalDB:
         )
         self.buffer.replace_page(meta)
         self.buffer.flush_page(META_PAGE_ID)
+        # Meta writes are unlogged, so the archive cannot rebuild this page;
+        # the media backup mirrors it at every save instead.
+        if getattr(self, "repair", None) is not None:
+            self.repair.mirror_meta()
 
     def _open_tables(self) -> None:
         for schema in self.catalog.tables.values():
@@ -353,7 +373,13 @@ class ImmortalDB:
             self.txn_mgr.att_snapshot(), flush=flush,
             max_tid=self.txn_mgr.next_tid - 1,
         )
-        collected = self.tsmgr.garbage_collect(self.checkpoints.redo_scan_start())
+        horizon = self.checkpoints.redo_scan_start()
+        if self.repair is not None:
+            # Restore's stamping pass resolves TIDs for versions replayed
+            # from the archive; a mapping may only be dropped once the pages
+            # it stamped are captured in the backup (see MediaRecoveryManager).
+            horizon = min(horizon, self.repair.backup_gc_horizon)
+        collected = self.tsmgr.garbage_collect(horizon)
         self._save_meta()
         return collected
 
@@ -378,6 +404,8 @@ class ImmortalDB:
         self.locks = LockManager()
         self.txn_mgr.locks = self.locks
         self.txn_mgr.active.clear()
+        if self.repair is not None:
+            self.repair.on_crash()
 
     def recover(self) -> RecoveryReport:
         """Restart after :meth:`crash`: analysis, redo, undo, re-open."""
@@ -484,4 +512,28 @@ class ImmortalDB:
             "asof_chain_steps": self.asof_stats.chain_steps,
             "route_cache_hits": self.asof_stats.route_cache_hits,
             "route_cache_misses": self.asof_stats.route_cache_misses,
+            # Media robustness (all zero with the defaults off).
+            "io_read_retries": disk.read_retries,
+            "io_write_retries": disk.write_retries,
+            "io_backoff_steps": disk.backoff_steps,
+            "io_verify_failures": disk.verify_failures,
+            "repair_page_faults":
+                self.repair.stats.page_faults if self.repair else 0,
+            "pages_repaired":
+                self.repair.stats.pages_repaired if self.repair else 0,
+            "repair_records_replayed":
+                self.repair.stats.repair_records_replayed if self.repair else 0,
+            "pages_quarantined":
+                self.repair.stats.pages_quarantined if self.repair else 0,
+            "degraded_reads":
+                self.repair.stats.degraded_reads if self.repair else 0,
+            "archive_records":
+                self.repair.archive.records_archived if self.repair else 0,
+            "backup_refreshes":
+                self.repair.stats.backup_refreshes if self.repair else 0,
+            "scrub_steps": self.scrubber.stats.steps if self.scrubber else 0,
+            "scrub_pages":
+                self.scrubber.stats.pages_scanned if self.scrubber else 0,
+            "scrub_findings":
+                self.scrubber.stats.findings if self.scrubber else 0,
         }

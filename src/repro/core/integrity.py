@@ -1,6 +1,6 @@
 """Database integrity verification.
 
-``verify_integrity(db)`` walks every structure the engine owns and checks
+``integrity_report(db)`` walks every structure the engine owns and checks
 the invariants the design depends on:
 
 * **catalog** — every schema's roots exist and have the right page types;
@@ -19,12 +19,17 @@ the invariants the design depends on:
 * **timestamping** — every TID-marked record in any page resolves to a
   live transaction or a PTT entry (no orphaned TIDs).
 
-Returns a list of human-readable problem strings (empty = healthy);
-``strict=True`` raises :exc:`IntegrityError` instead.
+It returns a structured :class:`IntegrityReport` — one :class:`Finding`
+per problem, carrying the page id and a machine-matchable kind alongside
+the human-readable detail — which is what the online scrubber consumes to
+dispatch repairs.  ``verify_integrity(db)`` is the original string-list
+interface, kept as a thin wrapper: it returns ``report.messages()``
+(empty = healthy) and ``strict=True`` raises :exc:`IntegrityError`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.clock import Timestamp
@@ -41,14 +46,67 @@ class IntegrityError(ImmortalDBError):
     """verify_integrity(strict=True) found problems."""
 
 
-def verify_integrity(db: "ImmortalDB", *, strict: bool = False) -> list[str]:
-    problems: list[str] = []
+@dataclass(frozen=True)
+class Finding:
+    """One integrity problem: where it is, what class of damage, the story.
+
+    ``kind`` is a stable machine-matchable slug (``btree``, ``codec``,
+    ``layout``, ``chain``, ``history``, ``orphan-tid``, ``history-chain``,
+    ``tsb``, ``ptt``, plus the scrubber's ``checksum``, ``decode`` and
+    ``stale``); ``detail`` is the full human-readable message.
+    """
+
+    kind: str
+    detail: str
+    table: str = ""
+    page_id: int = 0
+
+
+@dataclass
+class IntegrityReport:
+    """Structured result of an integrity walk (empty findings = healthy)."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def messages(self) -> list[str]:
+        """The human-readable problem strings (the legacy interface)."""
+        return [finding.detail for finding in self.findings]
+
+    def pages(self) -> list[int]:
+        """Distinct page ids implicated, in first-seen order."""
+        seen: list[int] = []
+        for finding in self.findings:
+            if finding.page_id and finding.page_id not in seen:
+                seen.append(finding.page_id)
+        return seen
+
+    def add(
+        self, kind: str, detail: str, *, table: str = "", page_id: int = 0
+    ) -> None:
+        self.findings.append(
+            Finding(kind=kind, detail=detail, table=table, page_id=page_id)
+        )
+
+
+def integrity_report(db: "ImmortalDB") -> IntegrityReport:
+    """Run every check; return the structured report."""
+    report = IntegrityReport()
     for table in db.tables.values():
-        problems.extend(_check_btree(db, table))
-        problems.extend(_check_pages(db, table))
-        problems.extend(_check_history_chains(db, table))
-        problems.extend(_check_tsb(db, table))
-    problems.extend(_check_ptt(db))
+        _check_btree(db, table, report)
+        _check_pages(db, table, report)
+        _check_history_chains(db, table, report)
+        _check_tsb(db, table, report)
+    _check_ptt(db, report)
+    return report
+
+
+def verify_integrity(db: "ImmortalDB", *, strict: bool = False) -> list[str]:
+    """Legacy interface: the report's messages; ``strict=True`` raises."""
+    problems = integrity_report(db).messages()
     if strict and problems:
         raise IntegrityError(
             f"{len(problems)} integrity problem(s):\n" + "\n".join(problems)
@@ -59,8 +117,9 @@ def verify_integrity(db: "ImmortalDB", *, strict: bool = False) -> list[str]:
 # ---------------------------------------------------------------------------
 
 
-def _check_btree(db: "ImmortalDB", table: "Table") -> list[str]:
-    problems: list[str] = []
+def _check_btree(
+    db: "ImmortalDB", table: "Table", report: IntegrityReport
+) -> None:
     name = table.name
     leaves_by_index: list[int] = []
 
@@ -68,12 +127,16 @@ def _check_btree(db: "ImmortalDB", table: "Table") -> list[str]:
         page = db.buffer.get_page(pid)
         if isinstance(page, BTreeIndexPage):
             if page.seps != sorted(page.seps):
-                problems.append(
-                    f"{name}: index node {pid} separators out of order"
+                report.add(
+                    "btree",
+                    f"{name}: index node {pid} separators out of order",
+                    table=name, page_id=pid,
                 )
             if len(page.children) != len(page.seps) + 1:
-                problems.append(
-                    f"{name}: index node {pid} children/separator mismatch"
+                report.add(
+                    "btree",
+                    f"{name}: index node {pid} children/separator mismatch",
+                    table=name, page_id=pid,
                 )
             for i, child in enumerate(page.children):
                 child_low = page.seps[i - 1] if i > 0 else low
@@ -81,29 +144,37 @@ def _check_btree(db: "ImmortalDB", table: "Table") -> list[str]:
                 walk(child, child_low, child_high)
             return
         if not isinstance(page, DataPage) or page.is_history:
-            problems.append(f"{name}: page {pid} is not a current data page")
+            report.add(
+                "btree",
+                f"{name}: page {pid} is not a current data page",
+                table=name, page_id=pid,
+            )
             return
         leaves_by_index.append(pid)
         for key in page.keys():
             if key < low or (high is not None and key >= high):
-                problems.append(
+                report.add(
+                    "btree",
                     f"{name}: leaf {pid} holds key {key!r} outside its "
-                    f"bounds [{low!r}, {high!r})"
+                    f"bounds [{low!r}, {high!r})",
+                    table=name, page_id=pid,
                 )
 
     walk(table.btree.root_pid, b"", None)
 
     leaves_by_chain = [leaf.page_id for leaf in table.btree.leaves()]
     if leaves_by_index != leaves_by_chain:
-        problems.append(
+        report.add(
+            "btree",
             f"{name}: index traversal sees leaves {leaves_by_index} but the "
-            f"sibling chain sees {leaves_by_chain}"
+            f"sibling chain sees {leaves_by_chain}",
+            table=name,
         )
-    return problems
 
 
-def _check_pages(db: "ImmortalDB", table: "Table") -> list[str]:
-    problems: list[str] = []
+def _check_pages(
+    db: "ImmortalDB", table: "Table", report: IntegrityReport
+) -> None:
     name = table.name
     for page in table.iter_all_pages():
         pid = page.page_id
@@ -111,15 +182,27 @@ def _check_pages(db: "ImmortalDB", table: "Table") -> list[str]:
         try:
             reparsed = decode_page(page.to_bytes())
         except ImmortalDBError as exc:
-            problems.append(f"{name}: page {pid} fails to serialize: {exc}")
+            report.add(
+                "codec",
+                f"{name}: page {pid} fails to serialize: {exc}",
+                table=name, page_id=pid,
+            )
             continue
         if not isinstance(reparsed, DataPage) or \
                 reparsed.keys() != page.keys() or \
                 reparsed.used_bytes != page.used_bytes:
-            problems.append(f"{name}: page {pid} codec roundtrip mismatch")
+            report.add(
+                "codec",
+                f"{name}: page {pid} codec roundtrip mismatch",
+                table=name, page_id=pid,
+            )
         # Slot order.
         if page.keys() != sorted(page.keys()):
-            problems.append(f"{name}: page {pid} slot array out of order")
+            report.add(
+                "layout",
+                f"{name}: page {pid} slot array out of order",
+                table=name, page_id=pid,
+            )
         # Chains: valid indices, acyclic, timestamps strictly decreasing.
         for key in page.keys():
             visited: set[int] = set()
@@ -127,30 +210,38 @@ def _check_pages(db: "ImmortalDB", table: "Table") -> list[str]:
             last_ts: Timestamp | None = None
             while True:
                 if index in visited:
-                    problems.append(
-                        f"{name}: page {pid} key {key!r} chain has a cycle"
+                    report.add(
+                        "chain",
+                        f"{name}: page {pid} key {key!r} chain has a cycle",
+                        table=name, page_id=pid,
                     )
                     break
                 if not 0 <= index < len(page.versions):
-                    problems.append(
+                    report.add(
+                        "chain",
                         f"{name}: page {pid} key {key!r} chain index "
-                        f"{index} out of range"
+                        f"{index} out of range",
+                        table=name, page_id=pid,
                     )
                     break
                 visited.add(index)
                 version = page.versions[index]
                 if version.key != key:
-                    problems.append(
+                    report.add(
+                        "chain",
                         f"{name}: page {pid} chain of {key!r} reached a "
-                        f"version of {version.key!r}"
+                        f"version of {version.key!r}",
+                        table=name, page_id=pid,
                     )
                     break
                 if version.is_timestamped:
                     ts = version.timestamp
                     if last_ts is not None and ts >= last_ts:
-                        problems.append(
+                        report.add(
+                            "chain",
                             f"{name}: page {pid} key {key!r} timestamps not "
-                            f"strictly decreasing ({ts} under {last_ts})"
+                            f"strictly decreasing ({ts} under {last_ts})",
+                            table=name, page_id=pid,
                         )
                     last_ts = ts
                 if not version.has_previous or version.vp_in_history:
@@ -159,12 +250,16 @@ def _check_pages(db: "ImmortalDB", table: "Table") -> list[str]:
         # History-page-only properties.
         if page.is_history:
             if page.split_ts >= page.end_ts:
-                problems.append(
-                    f"{name}: history page {pid} has empty time range"
+                report.add(
+                    "history",
+                    f"{name}: history page {pid} has empty time range",
+                    table=name, page_id=pid,
                 )
             if page.has_unstamped_records():
-                problems.append(
-                    f"{name}: history page {pid} holds TID-marked records"
+                report.add(
+                    "history",
+                    f"{name}: history page {pid} holds TID-marked records",
+                    table=name, page_id=pid,
                 )
         # Every TID-marked record must resolve somewhere.
         for version in page.unstamped_versions():
@@ -173,15 +268,17 @@ def _check_pages(db: "ImmortalDB", table: "Table") -> list[str]:
             except UnknownTransactionError:
                 if not page.immortal and db.tsmgr.recovery_fallback:
                     continue
-                problems.append(
+                report.add(
+                    "orphan-tid",
                     f"{name}: page {pid} holds an orphaned TID "
-                    f"{version.tid}"
+                    f"{version.tid}",
+                    table=name, page_id=pid,
                 )
-    return problems
 
 
-def _check_history_chains(db: "ImmortalDB", table: "Table") -> list[str]:
-    problems: list[str] = []
+def _check_history_chains(
+    db: "ImmortalDB", table: "Table", report: IntegrityReport
+) -> None:
     name = table.name
     for leaf in table.btree.leaves():
         expected_end = leaf.split_ts
@@ -189,25 +286,29 @@ def _check_history_chains(db: "ImmortalDB", table: "Table") -> list[str]:
         while pid:
             page = db.buffer.get_page(pid)
             if not isinstance(page, DataPage) or not page.is_history:
-                problems.append(
+                report.add(
+                    "history-chain",
                     f"{name}: leaf {leaf.page_id} history chain hit "
-                    f"non-history page {pid}"
+                    f"non-history page {pid}",
+                    table=name, page_id=pid,
                 )
                 break
             if page.end_ts != expected_end:
-                problems.append(
+                report.add(
+                    "history-chain",
                     f"{name}: history page {pid} ends at {page.end_ts} but "
-                    f"its successor starts at {expected_end}"
+                    f"its successor starts at {expected_end}",
+                    table=name, page_id=pid,
                 )
             expected_end = page.split_ts
             pid = page.history_page_id
-    return problems
 
 
-def _check_tsb(db: "ImmortalDB", table: "Table") -> list[str]:
+def _check_tsb(
+    db: "ImmortalDB", table: "Table", report: IntegrityReport
+) -> None:
     if table.history_index is None:
-        return []
-    problems: list[str] = []
+        return
     name = table.name
     for node in table.history_index.all_nodes():
         for entry in node.entries:
@@ -216,35 +317,39 @@ def _check_tsb(db: "ImmortalDB", table: "Table") -> list[str]:
             try:
                 page = db.buffer.get_page(entry.child_pid)
             except ImmortalDBError:
-                problems.append(
+                report.add(
+                    "tsb",
                     f"{name}: TSB entry points at missing page "
-                    f"{entry.child_pid}"
+                    f"{entry.child_pid}",
+                    table=name, page_id=entry.child_pid,
                 )
                 continue
             if not isinstance(page, DataPage) or not page.is_history:
-                problems.append(
+                report.add(
+                    "tsb",
                     f"{name}: TSB entry {entry.child_pid} is not a history "
-                    f"page"
+                    f"page",
+                    table=name, page_id=entry.child_pid,
                 )
                 continue
             if (entry.rect.t_low, entry.rect.t_high) != \
                     (page.split_ts, page.end_ts):
-                problems.append(
+                report.add(
+                    "tsb",
                     f"{name}: TSB rect time range "
                     f"[{entry.rect.t_low}, {entry.rect.t_high}) disagrees "
                     f"with page {page.page_id}'s "
-                    f"[{page.split_ts}, {page.end_ts})"
+                    f"[{page.split_ts}, {page.end_ts})",
+                    table=name, page_id=entry.child_pid,
                 )
-    return problems
 
 
-def _check_ptt(db: "ImmortalDB") -> list[str]:
-    problems: list[str] = []
+def _check_ptt(db: "ImmortalDB", report: IntegrityReport) -> None:
     last_tid = 0
     for tid, _ts in db.ptt.entries():
         if tid <= last_tid:
-            problems.append(
-                f"PTT: entries not strictly ascending at TID {tid}"
+            report.add(
+                "ptt",
+                f"PTT: entries not strictly ascending at TID {tid}",
             )
         last_tid = tid
-    return problems

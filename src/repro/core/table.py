@@ -36,10 +36,12 @@ from repro.errors import (
     DuplicateKeyError,
     KeyNotFoundError,
     PageFullError,
+    PageQuarantinedError,
     SQLExecutionError,
     TimestampOrderError,
     WriteConflictError,
 )
+from repro.repair.quarantine import Degraded
 from repro.storage.page import DataPage
 from repro.storage.record import RecordVersion
 from repro.wal.records import InPlaceUpdate, VersionOp, VersionOpKind
@@ -314,12 +316,31 @@ class Table:
     # -- point reads -----------------------------------------------------------------------
 
     def read(self, txn: Transaction, key_value) -> dict | None:
-        """Read one record under the transaction's isolation rules."""
+        """Read one record under the transaction's isolation rules.
+
+        With media recovery enabled, a read that hits a quarantined page
+        degrades instead of raising: as-of reads whose horizon the stale
+        backup image still covers are answered exactly (history pages are
+        immutable), anything else returns a falsy, typed
+        :class:`~repro.repair.quarantine.Degraded` result.
+        """
         txn.require_active()
         key = self.codec.encode_key(key_value)
         if txn.mode is TxnMode.SERIALIZABLE:
             self.engine.locks.lock_record_shared(txn.tid, self.table_id, key)
         horizon, inclusive = self._horizon(txn)
+        try:
+            return self._read_at(txn, key, horizon, inclusive)
+        except PageQuarantinedError as exc:
+            return self._degraded_read(txn, key, horizon, inclusive, exc)
+
+    def _read_at(
+        self,
+        txn: Transaction,
+        key: bytes,
+        horizon: Timestamp | None,
+        inclusive: bool,
+    ) -> dict | None:
         leaf = self.btree.search_leaf(key)
         if horizon is not None and self.engine.route_cache is not None:
             return self._read_cached(txn, leaf, key, horizon, inclusive)
@@ -342,6 +363,53 @@ class Table:
         if version.is_timestamped:
             self._validate_pinned(txn, version.timestamp)
         return self.codec.decode_row(key, version.payload)
+
+    def _degraded_read(
+        self,
+        txn: Transaction,
+        key: bytes,
+        horizon: Timestamp | None,
+        inclusive: bool,
+        exc: PageQuarantinedError,
+    ):
+        """Serve what the quarantine's stale backup image still proves.
+
+        The stale image misses only changes made after its capture, and a
+        current page's ``split_ts`` only ever grows — so any horizon below
+        the stale image's start time routes through history pages that were
+        already immutable when the image was taken.  Horizons the image
+        cannot vouch for come back as :class:`Degraded` rather than a
+        silently wrong answer.
+        """
+        repair = self.engine.repair
+        if repair is not None:
+            repair.stats.degraded_reads += 1
+            entry = repair.quarantine.get(exc.page_id)
+        else:  # pragma: no cover - quarantine implies a manager
+            entry = None
+        stale = entry.stale_page() if entry is not None else None
+        if horizon is not None and isinstance(stale, DataPage):
+            page: DataPage | None = None
+            if stale.is_history:
+                # History pages are immutable: the stale image IS the page.
+                if stale.split_ts <= horizon < stale.end_ts:
+                    page = stale
+            elif horizon < stale.split_ts:
+                page = self._route(stale, key, horizon)
+            if page is not None or (
+                not stale.is_history and horizon < stale.split_ts
+            ):
+                if page is None:
+                    return None
+                version = visible_version(
+                    page.chain(key), horizon=horizon, inclusive=inclusive,
+                    resolve=self._resolve, own_tid=txn.tid,
+                    stats=self.engine.asof_stats,
+                )
+                if version is None or version.is_delete_stub:
+                    return None
+                return self.codec.decode_row(key, version.payload)
+        return Degraded(page_id=exc.page_id, reason=str(exc))
 
     def _read_cached(
         self,

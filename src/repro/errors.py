@@ -51,11 +51,67 @@ class ChecksumError(StorageError):
     Raised only when page checksums are enabled (``page_checksums=True`` on
     the engine); it turns silent media corruption — torn writes, bit-rot —
     into a typed, catchable failure instead of downstream chain damage.
+
+    Carries enough context to dispatch a repair from the exception alone:
+    the page id, the CRC the image claims vs the CRC it actually hashes to,
+    and the LSN stamped in the (possibly corrupt) header.
     """
 
+    def __init__(
+        self,
+        message: str,
+        *,
+        page_id: int | None = None,
+        stored_crc: int | None = None,
+        computed_crc: int | None = None,
+        page_lsn: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.stored_crc = stored_crc
+        self.computed_crc = computed_crc
+        self.page_lsn = page_lsn
 
-class InjectedIOError(StorageError):
+
+class TransientIOError(StorageError):
+    """An I/O failure a retry may clear (the disk seam's retry class)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        page_id: int | None = None,
+        op: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.op = op
+
+
+class InjectedIOError(TransientIOError):
     """A fault model injected a transient I/O failure (read or write)."""
+
+
+class PageQuarantinedError(StorageError):
+    """The page is quarantined: corrupt on disk and not (yet) repaired.
+
+    Raised by the buffer pool when a read faults on a quarantined page while
+    media recovery cannot restore it.  Readers catch it to degrade — current
+    reads return a typed ``Degraded`` result, as-of reads fall back to the
+    intact history pages of the quarantine's stale backup view.
+    """
+
+    def __init__(self, message: str, *, page_id: int | None = None) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class MediaRecoveryError(StorageError):
+    """Single-page restore could not reconstruct the page (coverage gap)."""
+
+    def __init__(self, message: str, *, page_id: int | None = None) -> None:
+        super().__init__(message)
+        self.page_id = page_id
 
 
 # ---------------------------------------------------------------------------

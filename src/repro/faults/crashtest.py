@@ -42,8 +42,14 @@ from repro.core.integrity import IntegrityError, verify_integrity
 from repro.core.rowcodec import ColumnType
 from repro.core.table import Table
 from repro.faults.failpoints import FailpointRegistry, SimulatedCrash, installed
+from repro.faults.models import FAULT_KINDS, FaultyDisk
+from repro.repair.scrub import Scrubber
+from repro.storage.disk import InMemoryDisk
 
 TABLE = "crash"
+
+#: stored-image corruption modes exercised by the media-fault sweep
+CORRUPT_MODES = ("bitrot", "garbage", "zero")
 
 
 @dataclass(frozen=True)
@@ -62,9 +68,17 @@ class CrashTestConfig:
     value_pad: int = 700
     group_commit_window: int = 1
     route_cache: bool = False
+    # Media-fault mode: run on a FaultyDisk with checksums, write
+    # verification, transient-IO retry and media recovery enabled; instead
+    # of crashing at a crossing, inject a one-shot disk fault there and
+    # demand the run *completes* correctly, then corrupt a stored page and
+    # demand the scrubber restores it byte-identically.
+    media_faults: bool = False
 
     def repro_args(self, crossing: int) -> str:
         parts = [f"--seed {self.seed}"]
+        if self.media_faults:
+            parts.append("--media-faults")
         if self.transactions != CrashTestConfig.transactions:
             parts.append(f"--transactions {self.transactions}")
         if self.keys != CrashTestConfig.keys:
@@ -156,11 +170,22 @@ class ShadowOracle:
 
 def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
     """A fresh in-memory database with the harness table (not yet armed)."""
-    db = ImmortalDB(
-        buffer_pages=config.buffer_pages,
-        group_commit_window=config.group_commit_window,
-        asof_route_cache=config.route_cache,
-    )
+    if config.media_faults:
+        db = ImmortalDB(
+            disk=FaultyDisk(InMemoryDisk(), seed=config.seed),
+            buffer_pages=config.buffer_pages,
+            group_commit_window=config.group_commit_window,
+            asof_route_cache=config.route_cache,
+            page_checksums=True,
+            media_recovery=True,
+            io_retries=3,
+        )
+    else:
+        db = ImmortalDB(
+            buffer_pages=config.buffer_pages,
+            group_commit_window=config.group_commit_window,
+            asof_route_cache=config.route_cache,
+        )
     table = db.create_table(
         TABLE,
         [("k", ColumnType.INT), ("v", ColumnType.TEXT)],
@@ -306,6 +331,106 @@ def replay_crash_point(config: CrashTestConfig, crossing: int) -> CrashReport:
     return report
 
 
+def replay_media_point(config: CrashTestConfig, crossing: int) -> CrashReport:
+    """Inject one disk fault at a crossing; the engine must absorb it.
+
+    Two phases, both derived from the crossing index alone (so a failure
+    repro needs only the seed and the crossing, exactly like crash mode):
+
+    1. **Inline fault.** A one-shot fault of kind
+       ``FAULT_KINDS[crossing % 5]`` is armed when execution reaches
+       crossing ``crossing``, hitting the next matching disk op.  Every
+       kind has an inline defense — transient IO errors are retried with
+       backoff, bitrot reads are restored by the buffer's fault handler,
+       torn and dropped writes are caught by write verification — so the
+       workload must run to *completion* (no crash, no escape) and match
+       the oracle exactly.
+    2. **Latent corruption at rest.** After quiescing, the *stored* image
+       of page ``crossing % page_count`` is damaged (mode rotates through
+       bitrot/garbage/zero) and a scrubber pass runs.  The scrubber must
+       find the damage, restore the page byte-identically from backup +
+       archived log records, and come back clean on a second pass.
+    """
+    db, table = build_db(config)
+    disk: FaultyDisk = db.disk  # type: ignore[assignment]
+    oracle = ShadowOracle()
+    registry = FailpointRegistry()
+    kind = FAULT_KINDS[crossing % len(FAULT_KINDS)]
+    armed = [False]
+
+    def arm(event) -> None:
+        if event.crossing == crossing and not armed[0]:
+            armed[0] = True
+            disk.arm(kind)
+
+    registry.on("*", arm)
+    report = CrashReport(
+        crossing=crossing, name=f"{kind}@{crossing}", crashed=False
+    )
+    try:
+        with installed(registry):
+            run_workload(db, table, config, oracle)
+            db.flush_commits()
+            db.buffer.flush_all()
+    except Exception as exc:  # noqa: BLE001 - any escape is a finding
+        report.problems.append(
+            f"workload did not absorb injected {kind}: {exc!r}"
+        )
+        return report
+    if not armed[0]:
+        report.problems.append(
+            f"crossing {crossing} was never reached "
+            f"(workload has {registry.crossings} crossings)"
+        )
+        return report
+    report.crashed = True  # in media mode: "the fault was armed"
+    # A fault armed very late may find no matching op left in the run;
+    # drop it so phase 2 stays deterministic (it proved nothing either way).
+    disk.disarm()
+
+    target = crossing % disk.page_count
+    mode = CORRUPT_MODES[(crossing // len(FAULT_KINDS)) % len(CORRUPT_MODES)]
+    good = disk.inner._read(target)
+    disk.corrupt_stored(target, mode=mode)
+    scrubber = Scrubber(db)
+    findings = scrubber.full_pass()
+    if not any(f.page_id == target for f in findings):
+        report.problems.append(
+            f"scrubber missed {mode} corruption on page {target}"
+        )
+    repaired = disk.inner._read(target)
+    if repaired != good:
+        report.problems.append(
+            f"page {target} not byte-identical after {mode} repair"
+        )
+    leftover = scrubber.full_pass()
+    if leftover:
+        report.problems.append(
+            f"second scrub pass not clean: "
+            f"{sorted({(f.kind, f.page_id) for f in leftover})}"
+        )
+
+    try:
+        verify_integrity(db, strict=True)
+    except IntegrityError as exc:
+        report.problems.append(f"integrity: {exc}")
+    got = _current_state(db, table)
+    acceptable = oracle.acceptable_states()
+    if got not in acceptable:
+        report.problems.append(
+            f"current-state divergence: got {got!r}, "
+            f"acceptable {acceptable!r}"
+        )
+    for ts, snapshot in oracle.marks:
+        as_of = {row["k"]: row["v"] for row in table.scan_as_of(ts)}
+        if as_of != snapshot:
+            report.problems.append(
+                f"as-of divergence at {ts}: got {as_of!r}, "
+                f"expected {snapshot!r}"
+            )
+    return report
+
+
 @dataclass
 class ExplorationResult:
     config: CrashTestConfig
@@ -353,6 +478,34 @@ def explore(
     )
 
 
+def explore_media(
+    config: CrashTestConfig,
+    *,
+    max_points: int = 0,
+    progress=None,
+) -> ExplorationResult:
+    """Enumerate crossings, then inject-and-verify at each (or a sample)."""
+    names = enumerate_crossings(config)
+    indices = _sample(len(names), max_points)
+    failures: list[CrashReport] = []
+    by_name: Counter = Counter(
+        FAULT_KINDS[i % len(FAULT_KINDS)] for i in indices
+    )
+    for n, crossing in enumerate(indices):
+        report = replay_media_point(config, crossing)
+        if not report.ok:
+            failures.append(report)
+        if progress is not None:
+            progress(n + 1, len(indices), report)
+    return ExplorationResult(
+        config=config,
+        total_crossings=len(names),
+        explored=indices,
+        failures=failures,
+        by_name=by_name,
+    )
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -376,6 +529,11 @@ def main(argv: list[str] | None = None) -> int:
         help="enable the as-of route cache and probe marks mid-workload",
     )
     parser.add_argument(
+        "--media-faults", action="store_true",
+        help="inject disk faults instead of crashing; verify self-healing "
+             "(inline absorption + byte-identical scrubber repair)",
+    )
+    parser.add_argument(
         "--max-points", type=int, default=0,
         help="explore at most N crossings, evenly sampled (0 = all)",
     )
@@ -388,10 +546,12 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed, transactions=args.transactions, keys=args.keys,
         group_commit_window=args.group_commit,
         route_cache=args.route_cache,
+        media_faults=args.media_faults,
     )
+    replay = replay_media_point if config.media_faults else replay_crash_point
 
     if args.crash_point is not None:
-        report = replay_crash_point(config, args.crash_point)
+        report = replay(config, args.crash_point)
         print(f"crossing {report.crossing} ({report.name}): "
               f"{'OK' if report.ok else 'FAIL'}")
         for problem in report.problems:
@@ -407,12 +567,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  explored {done}/{total} crash points "
                   f"({len(seen_failures)} failures)")
 
-    result = explore(config, max_points=args.max_points, progress=progress)
+    explorer = explore_media if config.media_faults else explore
+    result = explorer(config, max_points=args.max_points, progress=progress)
 
+    mode = "fault points" if config.media_faults else "crash points"
     print(f"seed {config.seed}: {result.total_crossings} crossings enumerated, "
-          f"{len(result.explored)} explored")
+          f"{len(result.explored)} {mode} explored")
     seams = Counter(name.split(".")[0] for name in result.by_name.elements())
-    print("  by seam: " + ", ".join(
+    label = "by fault" if config.media_faults else "by seam"
+    print(f"  {label}: " + ", ".join(
         f"{seam}={count}" for seam, count in sorted(seams.items())
     ))
     if result.ok:

@@ -77,6 +77,10 @@ class FaultyDisk(PageStore):
         for _ in range(count):
             self._armed.append(kind)
 
+    def disarm(self) -> None:
+        """Drop every queued one-shot fault (probabilities are untouched)."""
+        self._armed.clear()
+
     def _next_fault(self, applicable: tuple[str, ...]) -> str | None:
         if self._armed and self._armed[0] in applicable:
             return self._armed.popleft()
@@ -92,7 +96,10 @@ class FaultyDisk(PageStore):
         fault = self._next_fault(READ_FAULTS)
         if fault == "read_error":
             self.injected[fault] += 1
-            raise InjectedIOError(f"injected transient read error on page {page_id}")
+            raise InjectedIOError(
+                f"injected transient read error on page {page_id}",
+                page_id=page_id, op="read",
+            )
         raw = self.inner._read(page_id)
         if fault == "bitrot_read":
             self.injected[fault] += 1
@@ -106,7 +113,10 @@ class FaultyDisk(PageStore):
         fault = self._next_fault(WRITE_FAULTS)
         if fault == "write_error":
             self.injected[fault] += 1
-            raise InjectedIOError(f"injected transient write error on page {page_id}")
+            raise InjectedIOError(
+                f"injected transient write error on page {page_id}",
+                page_id=page_id, op="write",
+            )
         if fault == "dropped_write":
             self.injected[fault] += 1
             return
@@ -122,6 +132,32 @@ class FaultyDisk(PageStore):
 
     def _allocate(self) -> int:
         return self.inner._allocate()
+
+    # -- stored-image corruption (for scrubber / repair exercises) ------------
+
+    def corrupt_stored(self, page_id: int, *, mode: str = "bitrot") -> None:
+        """Deterministically damage the *stored* image of a page.
+
+        Unlike the transient read faults, this mutates what the inner store
+        holds, so every subsequent read sees the damage — the scenario the
+        scrubber and single-page restore exist for.  Modes: ``bitrot``
+        (flip one bit), ``garbage`` (overwrite a 256-byte run), ``zero``
+        (whole-page zeros, a lost sector).
+        """
+        raw = bytearray(self.inner._read(page_id))
+        if mode == "bitrot":
+            pos = self.rng.randrange(len(raw))
+            raw[pos] ^= 1 << self.rng.randrange(8)
+        elif mode == "garbage":
+            start = self.rng.randrange(max(1, len(raw) - 256))
+            raw[start : start + 256] = bytes(
+                self.rng.randrange(256) for _ in range(256)
+            )
+        elif mode == "zero":
+            raw = bytearray(len(raw))
+        else:
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        self.inner._write(page_id, bytes(raw))
 
     @property
     def page_count(self) -> int:

@@ -1,0 +1,248 @@
+"""The two durable halves of media recovery: log archive and page backup.
+
+Media recovery needs exactly two things to rebuild any page (Mohan's
+ARIES-style single-page restore, applied to the Immortal DB engine):
+
+1. **A log archive** that is *contiguous* from some base LSN onward and
+   indexed by page.  The WAL rule guarantees every on-disk page image has
+   ``page.lsn <= flushed_lsn``, so an archive of the durable records is
+   always sufficient to roll any backup (or surviving) image forward to
+   the current durable state.  The archive copies frames from
+   :meth:`LogManager.durable_frames` after every physical force — records
+   become archivable the instant they become durable.
+
+2. **A page backup** taken fuzzily online.  Right after a flush checkpoint
+   every disk image is current, so capturing the raw pages then yields a
+   consistent "backup as of flushed_lsn" without stopping the engine.
+   Pages that fail verification at capture time keep their previous backup
+   image (the archive bridges the gap).
+
+Trimming is per page: a record becomes droppable once *every* page it
+touches has a backup image at or past the record's LSN (replay always
+starts at the image's own LSN, so such a record can never be replayed
+again).  A page that failed capture keeps its older backup image, which
+automatically retains the records bridging the gap.  A global cut-off
+would never fire here because the meta page's writes are unlogged and its
+image stays at LSN 0.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.constants import PageType
+from repro.storage.page import Page
+from repro.wal.records import CommitTxn, LogRecord, PTTDelete
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.disk import PageStore
+    from repro.wal.log import LogManager
+
+_LSN_OFFSET = 8  # page LSN lives at bytes [8:16) of the common page header
+
+
+def _image_lsn(raw: bytes) -> int:
+    return int.from_bytes(raw[_LSN_OFFSET:_LSN_OFFSET + 8], "big")
+
+
+class LogArchive:
+    """A per-page index over every durable, page-affecting log record.
+
+    Only records that touch at least one page are stored physically;
+    commit/abort bookkeeping records are never replayed during a
+    single-page restore — restored versions are re-stamped from the PTT
+    instead, exactly like the flush-time lazy timestamping path.
+
+    One logical side channel: PTT mutations are logged logically (the
+    commit record carries the entry; ``PTTDelete`` records GC) and PTT node
+    pages never appear in any physical record.  The archive keeps those
+    records separately so a damaged PTT page can be refilled by idempotent
+    re-application on top of its stale backup image.
+    """
+
+    def __init__(self) -> None:
+        self._lsns: list[int] = []          # ascending LSNs of stored records
+        self._raws: list[bytes] = []        # codec bytes, parallel to _lsns
+        self._by_page: dict[int, list[int]] = {}   # page_id -> indices
+        self._ptt: list[tuple[int, bytes]] = []    # (lsn, raw) PTT mutations
+        self.captured_upto = 0   # highest durable LSN seen (incl. skipped)
+        self.records_archived = 0
+        self.bytes_archived = 0
+        self.records_trimmed = 0
+
+    # -- capture -----------------------------------------------------------
+
+    def capture(self, log: "LogManager") -> int:
+        """Copy newly durable frames from the log; returns records stored."""
+        stored = 0
+        for lsn, raw in log.durable_frames(self.captured_upto):
+            self.captured_upto = lsn
+            record = LogRecord.decode(raw)
+            pages = record.affected_pages()
+            if not pages:
+                if isinstance(record, PTTDelete) or (
+                    isinstance(record, CommitTxn) and record.ptt
+                ):
+                    self._ptt.append((lsn, raw))
+                    self.bytes_archived += len(raw)
+                    stored += 1
+                continue
+            index = len(self._lsns)
+            self._lsns.append(lsn)
+            self._raws.append(raw)
+            for page_id in pages:
+                self._by_page.setdefault(page_id, []).append(index)
+            self.bytes_archived += len(raw)
+            stored += 1
+        self.records_archived += stored
+        return stored
+
+    # -- queries -----------------------------------------------------------
+
+    def records_for(
+        self, page_id: int, after_lsn: int = 0
+    ) -> Iterator[LogRecord]:
+        """Archived records touching ``page_id`` with LSN > ``after_lsn``."""
+        for index in self._by_page.get(page_id, ()):  # indices are ascending
+            lsn = self._lsns[index]
+            if lsn <= after_lsn:
+                continue
+            record = LogRecord.decode(self._raws[index])
+            record.lsn = lsn
+            yield record
+
+    def max_lsn_for(self, page_id: int) -> int:
+        """The newest archived LSN touching ``page_id`` (0 if none).
+
+        The scrubber's staleness check: a page that is not dirty in the
+        buffer pool whose disk image LSN is below this was the victim of a
+        silently dropped write.
+        """
+        indices = self._by_page.get(page_id)
+        return self._lsns[indices[-1]] if indices else 0
+
+    def ptt_records_after(self, after_lsn: int = 0) -> Iterator[LogRecord]:
+        """Archived PTT mutations (commit inserts / GC deletes), in LSN
+        order, with LSN > ``after_lsn`` — the logical refill stream for a
+        restored PTT page."""
+        for lsn, raw in self._ptt:
+            if lsn <= after_lsn:
+                continue
+            record = LogRecord.decode(raw)
+            record.lsn = lsn
+            yield record
+
+    # -- trimming ----------------------------------------------------------
+
+    def trim_covered(
+        self, image_lsn: Callable[[int], int], ptt_floor: int = 0
+    ) -> int:
+        """Drop records fully covered by the backup; returns the count.
+
+        ``image_lsn(page_id)`` is the LSN of the page's backup image (0 if
+        none).  A record is droppable only when every page it touches has an
+        image at or past the record's LSN — replay starts from the image's
+        own LSN, so such a record can never be needed again.  ``ptt_floor``
+        bounds the logical side channel: PTT mutations at or below it are
+        reflected in every PTT page's backup image.
+        """
+        if ptt_floor:
+            before = len(self._ptt)
+            self._ptt = [(lsn, raw) for lsn, raw in self._ptt
+                         if lsn > ptt_floor]
+            self.records_trimmed += before - len(self._ptt)
+        keep_lsns: list[int] = []
+        keep_raws: list[bytes] = []
+        rebuilt: dict[int, list[int]] = {}
+        for lsn, raw in zip(self._lsns, self._raws):
+            pages = LogRecord.decode(raw).affected_pages()
+            if all(lsn <= image_lsn(page_id) for page_id in pages):
+                continue
+            index = len(keep_lsns)
+            keep_lsns.append(lsn)
+            keep_raws.append(raw)
+            for page_id in pages:
+                rebuilt.setdefault(page_id, []).append(index)
+        dropped = len(self._lsns) - len(keep_lsns)
+        self._lsns = keep_lsns
+        self._raws = keep_raws
+        self._by_page = rebuilt
+        self.records_trimmed += dropped
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._lsns)
+
+
+class PageBackup:
+    """Raw page images captured fuzzily at flush checkpoints.
+
+    Backup media is modelled as separate from the data disk: a simulated
+    crash of the engine does not touch it, and media faults on the data
+    disk cannot corrupt it.
+    """
+
+    def __init__(self) -> None:
+        self._images: dict[int, bytes] = {}
+        # log.flushed_lsn when each page's current image was captured —
+        # the refill floor for logically-logged (LSN-0) pages like the PTT.
+        self._capture_lsn: dict[int, int] = {}
+        self.captures = 0
+        self.pages_captured = 0
+        self.pages_skipped = 0
+        self.captured_flushed_lsn = 0  # log.flushed_lsn at the last capture
+
+    def put(self, page_id: int, raw: bytes, flushed_lsn: int = 0) -> None:
+        self._images[page_id] = bytes(raw)
+        self._capture_lsn[page_id] = flushed_lsn
+
+    def image(self, page_id: int) -> bytes | None:
+        return self._images.get(page_id)
+
+    def image_lsn(self, page_id: int) -> int:
+        raw = self._images.get(page_id)
+        return _image_lsn(raw) if raw is not None else 0
+
+    def capture_lsn(self, page_id: int) -> int:
+        """``log.flushed_lsn`` when this page's image was captured (0 if
+        never captured)."""
+        return self._capture_lsn.get(page_id, 0)
+
+    def ptt_floor(self) -> int:
+        """The oldest capture LSN across PTT-page images (0 if none).
+
+        Every archived PTT mutation at or below this LSN is reflected in
+        every PTT page's backup image, so the logical side channel can be
+        trimmed to it.
+        """
+        floors = [
+            self._capture_lsn.get(page_id, 0)
+            for page_id, raw in self._images.items()
+            if Page.read_common_header(raw)[1] == PageType.PTT
+        ]
+        return min(floors) if floors else 0
+
+    def capture_all(self, disk: "PageStore", flushed_lsn: int = 0) -> list[int]:
+        """Capture every page's current image; returns page ids that failed.
+
+        A page whose read fails verification keeps its previous backup
+        image (and its previous capture LSN) — the archive still covers it
+        from that older point forward.
+        """
+        failed: list[int] = []
+        for page_id in range(disk.page_count):
+            try:
+                raw = disk.read_page(page_id)
+            except StorageError:
+                failed.append(page_id)
+                continue
+            self._images[page_id] = raw
+            self._capture_lsn[page_id] = flushed_lsn
+            self.pages_captured += 1
+        self.captures += 1
+        self.pages_skipped += len(failed)
+        return failed
+
+    def __len__(self) -> int:
+        return len(self._images)

@@ -1,0 +1,90 @@
+"""Quarantine and graceful degradation for unrepairable pages.
+
+When a page faults and cannot (or may not — ``auto_repair=False``) be
+restored, it is quarantined instead of poisoning every request that touches
+it.  The quarantine entry keeps the newest stale backup image: it misses
+only the changes made after its capture, so
+
+* **as-of reads** whose horizon predates the stale image's start time can
+  still be answered exactly — the image's history chain pointers and the
+  (immutable) history pages behind them are intact;
+* **current reads** that would need the lost tail return a typed
+  :class:`Degraded` result instead of raising, so callers can distinguish
+  "no such row" from "row unavailable until media recovery completes".
+
+``Degraded`` is falsy on purpose: code that only asks "did I get a row?"
+treats degraded service as a miss, while callers that care can
+``isinstance``-check and surface the page id and reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.failpoints import fire
+from repro.storage.page import Page, decode_page
+
+
+@dataclass(frozen=True)
+class Degraded:
+    """A typed "the data exists but is temporarily unreadable" result."""
+
+    page_id: int
+    reason: str
+
+    def __bool__(self) -> bool:
+        return False
+
+
+@dataclass
+class QuarantineEntry:
+    page_id: int
+    error: str                       # what took the page out of service
+    stale_image: bytes | None = None   # newest backup image, if any
+    _decoded: Page | None = field(default=None, repr=False)
+
+    def stale_page(self) -> Page | None:
+        """The decoded stale backup image (cached), or None."""
+        if self._decoded is None and self.stale_image is not None:
+            self._decoded = decode_page(self.stale_image)
+        return self._decoded
+
+
+class QuarantineManager:
+    """The set of pages currently out of service."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, QuarantineEntry] = {}
+        self.total_quarantined = 0
+
+    def quarantine(
+        self, page_id: int, error: Exception | str,
+        stale_image: bytes | None = None,
+    ) -> QuarantineEntry:
+        fire("repair.quarantine")
+        entry = QuarantineEntry(
+            page_id=page_id, error=str(error), stale_image=stale_image
+        )
+        if page_id not in self._entries:
+            self.total_quarantined += 1
+        self._entries[page_id] = entry
+        return entry
+
+    def get(self, page_id: int) -> QuarantineEntry | None:
+        return self._entries.get(page_id)
+
+    def release(self, page_id: int) -> bool:
+        """The page was repaired; back in service."""
+        return self._entries.pop(page_id, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def pages(self) -> list[int]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._entries

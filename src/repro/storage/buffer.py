@@ -22,7 +22,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
-from repro.errors import BufferPoolError, LatchError
+from repro.errors import (
+    BufferPoolError,
+    LatchError,
+    StorageError,
+    TransientIOError,
+)
 from repro.faults.failpoints import fire
 from repro.storage.disk import PageStore
 from repro.storage.page import Page, decode_page
@@ -71,6 +76,11 @@ class BufferPool:
         # serialized to disk; log_force is called with the page LSN (WAL rule).
         self.pre_flush_hooks: list[Callable[[Page], None]] = []
         self.log_force: Callable[[int], None] | None = None
+        # Media-fault seam: when a miss reads a page that fails verification
+        # (bad checksum, undecodable, wrong id), the handler may return a
+        # repaired page (admitted as a clean frame) instead of letting the
+        # error propagate.  Set by the media-recovery manager.
+        self.fault_handler: Callable[[int, Exception], Page] | None = None
 
     # -- fetching ---------------------------------------------------------------
 
@@ -82,12 +92,41 @@ class BufferPool:
             self._frames.move_to_end(page_id)
             return frame.page
         self.stats.misses += 1
-        raw = self.disk.read_page(page_id)
-        page = decode_page(raw)
-        if page.page_id != page_id:
-            raise BufferPoolError(
-                f"page {page_id} image claims to be page {page.page_id}"
-            )
+        raw: bytes | None
+        try:
+            raw = self.disk.read_page(page_id)
+        except TransientIOError:
+            # Transient by contract: the stored image is fine, a repair
+            # would be wrong.  The retry policy already ran at the disk
+            # seam; let the caller see the exhaustion.
+            raise
+        except StorageError as exc:
+            if self.fault_handler is None:
+                raise
+            raw, fault = None, exc
+        if raw is not None:
+            try:
+                page = decode_page(raw)
+                if page.page_id != page_id:
+                    raise BufferPoolError(
+                        f"page {page_id} image claims to be page "
+                        f"{page.page_id}"
+                    )
+            except StorageError as exc:
+                # An all-zero image is an allocated-but-never-written page,
+                # not media damage — callers rely on the plain error (the
+                # PTT rebuilds an empty node from exactly this failure).
+                if self.fault_handler is None or not any(raw):
+                    raise
+                raw, fault = None, exc
+        if raw is None:
+            page = self.fault_handler(page_id, fault)
+            # Repairing may have faulted the page in reentrantly (e.g. the
+            # PTT refill reads through the buffer); keep that frame — it may
+            # already carry newer, dirty state.
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                return frame.page
         self._admit(Frame(page))
         return page
 

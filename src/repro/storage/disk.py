@@ -17,10 +17,16 @@ without the authors' 2005 hardware.
 from __future__ import annotations
 
 import os
+import random
 import zlib
 from dataclasses import dataclass, fields
 
-from repro.errors import ChecksumError, PageNotFoundError, StorageError
+from repro.errors import (
+    ChecksumError,
+    PageNotFoundError,
+    StorageError,
+    TransientIOError,
+)
 from repro.faults.failpoints import fire
 from repro.storage.constants import (
     CHECKSUM_OFFSET,
@@ -28,6 +34,10 @@ from repro.storage.constants import (
     META_PAGE_ID,
     PAGE_SIZE,
 )
+
+# Byte offset of the 8-byte LSN in the common page header (see
+# Page._COMMON_HEADER: page_id(4) | type(1) | flags(1) | pad(2) | lsn(8)).
+_LSN_OFFSET = 8
 
 
 def page_checksum(raw: bytes) -> int:
@@ -56,11 +66,39 @@ def verify_checksum(raw: bytes, page_id: int) -> None:
     )
     if stored == 0:
         return  # written before checksums were enabled
-    if stored != page_checksum(raw):
+    computed = page_checksum(raw)
+    if stored != computed:
         raise ChecksumError(
             f"page {page_id}: stored CRC32 {stored:#010x} does not match "
-            f"the page image (torn write or bit-rot)"
+            f"the page image (torn write or bit-rot)",
+            page_id=page_id,
+            stored_crc=stored,
+            computed_crc=computed,
+            page_lsn=int.from_bytes(raw[_LSN_OFFSET : _LSN_OFFSET + 8], "big"),
         )
+
+
+class RetryPolicy:
+    """Bounded retry with deterministic, seeded exponential backoff.
+
+    Only :class:`~repro.errors.TransientIOError` is retried — it is the one
+    failure class a repeat attempt may clear (a permanent media error would
+    fail again and is the repair subsystem's job instead).  Backoff is
+    counted in abstract *steps* (1, 2, 4, … doubling per attempt, with a
+    seeded jitter draw), never wall-clock sleeps: the simulation stays
+    deterministic, and the cost model can price a step however it likes.
+    """
+
+    def __init__(self, max_attempts: int = 4, *, seed: int = 0) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.max_attempts = max_attempts
+        self.rng = random.Random(seed)
+
+    def backoff_steps(self, attempt: int) -> int:
+        """Steps to back off after failed attempt ``attempt`` (1-based)."""
+        ceiling = 1 << (attempt - 1)
+        return ceiling + self.rng.randrange(ceiling)
 
 
 @dataclass
@@ -72,6 +110,10 @@ class DiskStats:
     sequential_reads: int = 0
     sequential_writes: int = 0
     allocations: int = 0
+    read_retries: int = 0       # transient read errors absorbed by retry
+    write_retries: int = 0      # transient write errors absorbed by retry
+    backoff_steps: int = 0      # abstract backoff units spent across retries
+    verify_failures: int = 0    # write read-back mismatches (torn/dropped)
 
     @property
     def random_reads(self) -> int:
@@ -106,13 +148,15 @@ class PageStore:
         self.page_size = page_size
         self.stats = DiskStats()
         self.checksums = False   # opt-in: stamp on write, verify on read
+        self.retry: RetryPolicy | None = None   # opt-in transient-error retry
+        self.verify_writes = False   # opt-in: read back and compare each write
         self._last_read_pid = -2
         self._last_write_pid = -2
 
     # -- interface -----------------------------------------------------------
 
     def read_page(self, page_id: int) -> bytes:
-        raw = self._read(page_id)
+        raw = self._read_retrying(page_id)
         if self.checksums:
             verify_checksum(raw, page_id)
         self.stats.reads += 1
@@ -120,6 +164,19 @@ class PageStore:
             self.stats.sequential_reads += 1
         self._last_read_pid = page_id
         return raw
+
+    def _read_retrying(self, page_id: int) -> bytes:
+        if self.retry is None:
+            return self._read(page_id)
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                return self._read(page_id)
+            except TransientIOError:
+                if attempt == self.retry.max_attempts:
+                    raise
+                self.stats.read_retries += 1
+                self.stats.backoff_steps += self.retry.backoff_steps(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def write_page(self, page_id: int, raw: bytes) -> None:
         if len(raw) != self.page_size:
@@ -129,7 +186,35 @@ class PageStore:
         fire("disk.write_page")
         if self.checksums:
             raw = stamp_checksum(raw)
-        self._write(page_id, raw)
+        # Verification without at least one rewrite attempt would detect torn
+        # and dropped writes but be unable to do anything about them, so
+        # verify_writes alone grants a single retry.
+        if self.retry is not None:
+            attempts = self.retry.max_attempts
+        else:
+            attempts = 2 if self.verify_writes else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                self._write(page_id, raw)
+            except TransientIOError:
+                if attempt == attempts:
+                    raise
+                self.stats.write_retries += 1
+                if self.retry is not None:
+                    self.stats.backoff_steps += self.retry.backoff_steps(attempt)
+                continue
+            if not self.verify_writes:
+                break
+            try:
+                landed = self._read(page_id)
+            except StorageError:
+                landed = None
+            if landed == raw:
+                break
+            # Torn or dropped write: the image on the platter is not what we
+            # sent.  Rewrite while we still hold the good bytes; if every
+            # attempt tears, leave it — the read path / scrubber repairs it.
+            self.stats.verify_failures += 1
         self.stats.writes += 1
         if page_id == self._last_write_pid + 1:
             self.stats.sequential_writes += 1

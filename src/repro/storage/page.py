@@ -413,6 +413,58 @@ class DataPage(Page):
             if not version.is_timestamped:
                 yield version
 
+    # -- self-contained invariants -------------------------------------------------
+
+    def self_check(self) -> list[str]:
+        """Page-local invariant violations (empty list = healthy).
+
+        Exactly the checks that need no engine context — no TID resolution,
+        no sibling pages — so the online scrubber can run them against any
+        decoded disk image: slot array sorted, every chain acyclic with
+        in-range indices and key-consistent versions, timestamps strictly
+        decreasing along each chain, and a history page's time range
+        non-empty.  ``verify_integrity`` layers the cross-structure checks
+        (chains across pages, TSB agreement, orphaned TIDs) on top.
+        """
+        problems: list[str] = []
+        if self._slot_keys != sorted(self._slot_keys):
+            problems.append("slot array out of order")
+        for key in self._slot_keys:
+            visited: set[int] = set()
+            index = self.slots[self.slot_position(key)]
+            last_ts: Timestamp | None = None
+            while True:
+                if index in visited:
+                    problems.append(f"key {key!r} chain has a cycle")
+                    break
+                if not 0 <= index < len(self.versions):
+                    problems.append(
+                        f"key {key!r} chain index {index} out of range"
+                    )
+                    break
+                visited.add(index)
+                version = self.versions[index]
+                if version.key != key:
+                    problems.append(
+                        f"chain of {key!r} reached a version of "
+                        f"{version.key!r}"
+                    )
+                    break
+                if version.is_timestamped:
+                    ts = version.timestamp
+                    if last_ts is not None and ts >= last_ts:
+                        problems.append(
+                            f"key {key!r} timestamps not strictly "
+                            f"decreasing ({ts} under {last_ts})"
+                        )
+                    last_ts = ts
+                if not version.has_previous or version.vp_in_history:
+                    break
+                index = version.vp
+        if self.is_history and self.split_ts >= self.end_ts:
+            problems.append("history page has empty time range")
+        return problems
+
     # -- codec --------------------------------------------------------------------
 
     def _encode(self) -> bytes:

@@ -15,6 +15,8 @@ what advances the scan point and lets the PTT shrink.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.faults.failpoints import fire
 from repro.storage.buffer import BufferPool
 from repro.wal.log import LogManager
@@ -28,6 +30,10 @@ class CheckpointManager:
         self.log = log
         self.buffer = buffer
         self.checkpoints_taken = 0
+        # Called with the flush flag after each completed checkpoint.  The
+        # media-recovery manager refreshes its fuzzy page backup here on
+        # flush checkpoints (every disk image is current right after one).
+        self.post_checkpoint_hooks: list[Callable[[bool], None]] = []
 
     def take(
         self,
@@ -64,6 +70,8 @@ class CheckpointManager:
         self.log.set_master_checkpoint(end_lsn)
         fire("checkpoint.end")
         self.checkpoints_taken += 1
+        for hook in self.post_checkpoint_hooks:
+            hook(flush)
         return end_lsn
 
     def checkpointed_max_tid(self) -> int:

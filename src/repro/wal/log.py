@@ -158,6 +158,23 @@ class LogManager:
             record.lsn = self._lsns[i]
             yield record
 
+    def durable_frames(self, after_lsn: int = 0) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(lsn, raw)`` for every *durable* record with LSN > ``after_lsn``.
+
+        A record is fully durable iff it starts below ``flushed_lsn`` —
+        :meth:`force` always flushes a contiguous suffix, so there is never a
+        half-durable record.  The raw bytes are the unframed codec image
+        (what :meth:`LogRecord.decode` accepts).  This is the log-archiving
+        tap: the media-recovery archive copies exactly these frames after
+        each physical force.
+        """
+        start = bisect_right(self._lsns, after_lsn)
+        for i in range(start, len(self._lsns)):
+            lsn = self._lsns[i]
+            if lsn >= self._flushed_lsn:
+                break
+            yield lsn, self._raws[i]
+
     def record_at(self, lsn: int) -> LogRecord:
         index = bisect_right(self._lsns, lsn) - 1
         if index < 0 or self._lsns[index] != lsn:

@@ -84,6 +84,16 @@ class LogRecord:
     TAG = -1
     REDO_ONLY = False
 
+    def affected_pages(self) -> tuple[int, ...]:
+        """Page ids whose content this record's redo modifies.
+
+        The media-recovery log archive indexes records by this, so
+        single-page restore can replay exactly the records that touch one
+        page.  Bookkeeping records (begin/commit/checkpoint/PTT delete)
+        touch no page directly and return the empty tuple.
+        """
+        return ()
+
     # -- codec ------------------------------------------------------------
 
     def body_bytes(self) -> bytes:
@@ -181,6 +191,9 @@ class VersionOp(LogRecord):
     key: bytes = b""
     payload: bytes = b""
 
+    def affected_pages(self) -> tuple[int, ...]:
+        return (self.page_id,)
+
     def body_bytes(self) -> bytes:
         """Serialize this record type's body fields."""
         chunks: list[bytes] = [
@@ -215,6 +228,9 @@ class MultiPageImage(LogRecord):
     reason: SMOReason = SMOReason.OTHER
     images: list[tuple[int, bytes]] = field(default_factory=list)
 
+    def affected_pages(self) -> tuple[int, ...]:
+        return tuple(page_id for page_id, _ in self.images)
+
     def body_bytes(self) -> bytes:
         """Serialize this record type's body fields."""
         chunks: list[bytes] = [
@@ -246,6 +262,9 @@ class CompensationRecord(LogRecord):
     REDO_ONLY = True
     undo_next_lsn: int = 0
     images: list[tuple[int, bytes]] = field(default_factory=list)
+
+    def affected_pages(self) -> tuple[int, ...]:
+        return tuple(page_id for page_id, _ in self.images)
 
     def body_bytes(self) -> bytes:
         """Serialize this record type's body fields."""
@@ -370,6 +389,9 @@ class StampOp(LogRecord):
     ttime: int = 0
     sn: int = 0
 
+    def affected_pages(self) -> tuple[int, ...]:
+        return (self.page_id,)
+
     def body_bytes(self) -> bytes:
         """Serialize this record type's body fields."""
         chunks: list[bytes] = [
@@ -409,6 +431,9 @@ class InPlaceUpdate(LogRecord):
     key: bytes = b""
     before: bytes = b""
     after: bytes = b""
+
+    def affected_pages(self) -> tuple[int, ...]:
+        return (self.page_id,)
 
     def body_bytes(self) -> bytes:
         """Serialize this record type's body fields."""

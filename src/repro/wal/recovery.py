@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol
 
 from repro.clock import Timestamp
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, StorageError
 from repro.storage.buffer import BufferPool
 from repro.storage.page import DataPage, Page, decode_page
 from repro.storage.record import RecordVersion
@@ -142,7 +142,15 @@ def _page_lsn(buffer: BufferPool, page_id: int) -> int:
     """The LSN currently stamped on a page, without decoding a cold image."""
     if buffer.contains(page_id):
         return buffer.get_page(page_id).lsn
-    raw = buffer.disk.read_page(page_id)
+    try:
+        raw = buffer.disk.read_page(page_id)
+    except StorageError:
+        if buffer.fault_handler is None:
+            raise
+        # A damaged image found during redo: go through the buffer pool so
+        # the media-recovery fault handler can repair it, then redo resumes
+        # against the restored page.
+        return buffer.get_page(page_id).lsn
     return Page.read_common_header(raw)[3]
 
 
