@@ -461,6 +461,14 @@ class BTree:
         split_ts = self._split_time(leaf)
         if split_ts is None:
             return False
+        # A transaction may commit between the stamping pass and the
+        # split-time draw; its versions would then be classified as
+        # uncommitted (case 4) despite a commit time below split_ts.
+        # Re-run the trigger until it finds nothing new to stamp — any
+        # commit after the final draw carries a timestamp above split_ts
+        # (the clock is monotonic), for which case 4 is correct.
+        while self.stamp_page is not None and self.stamp_page(leaf):
+            split_ts = self._split_time(leaf) or split_ts
         history_pid = self.buffer.disk.allocate()
         outcome = time_split_page(leaf, split_ts, history_pid)
         if outcome.moved == 0 and outcome.stubs_dropped == 0:

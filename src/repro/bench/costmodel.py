@@ -55,6 +55,15 @@ class CostModel:
     backoff_step_ms: float = 0.0       # one abstract backoff dwell step
     scrub_page_ms: float = 0.0         # scrub-verify one page from disk
     repair_page_ms: float = 0.0        # one single-page media restore
+    # Concurrent-execution counters (PR 6).  Zero-priced by default — the
+    # 2005 calibration is single-threaded — but non-zero rates let the
+    # concurrency ablation charge lock waiting (priced from the measured
+    # wall-clock lock_wait_ns), deadlock victim aborts, worker retries, and
+    # OCC validation rejections.
+    lock_wait_ms_per_ms: float = 0.0   # per millisecond actually spent parked
+    deadlock_ms: float = 0.0           # one detected cycle + victim abort
+    txn_retry_ms: float = 0.0          # one worker-pool retry round-trip
+    occ_validation_ms: float = 0.0     # one commit-time validation rejection
 
     def simulated_ms(self, delta: dict) -> float:
         """Price a stats delta (see :meth:`ImmortalDB.stats`)."""
@@ -103,6 +112,10 @@ class CostModel:
             + delta.get("io_backoff_steps", 0) * self.backoff_step_ms
             + delta.get("scrub_pages", 0) * self.scrub_page_ms
             + delta.get("pages_repaired", 0) * self.repair_page_ms
+            + (delta.get("lock_wait_ns", 0) / 1e6) * self.lock_wait_ms_per_ms
+            + delta.get("deadlocks_detected", 0) * self.deadlock_ms
+            + delta.get("txn_retries", 0) * self.txn_retry_ms
+            + delta.get("occ_validation_failures", 0) * self.occ_validation_ms
         )
 
 

@@ -65,6 +65,11 @@ class Transaction:
     writes: set[tuple[int, bytes]] = field(default_factory=set)
     touched_immortal: bool = False
     version_count: int = 0
+    # Optimistic mode (cc_mode="occ"): reads run against the snapshot
+    # without locks but record every (table_id, key) probed; commit then
+    # validates that none was overwritten by a later committed transaction.
+    occ: bool = False
+    read_keys: set[tuple[int, bytes]] = field(default_factory=set)
 
     @property
     def is_read_only(self) -> bool:
@@ -114,6 +119,11 @@ class TransactionManager:
         self.commits = 0
         self.aborts = 0
         self.group_commit_acks = 0       # commits durably acked via a batch force
+        self.txn_retries = 0             # worker-pool retries after conflicts
+        self.occ_validation_failures = 0  # commit-time validation rejections
+        # Set by the engine when cc_mode="occ": called with the transaction
+        # at commit, raises OCCValidationError if a read was invalidated.
+        self.occ_validate: Callable[[Transaction], None] | None = None
         # Group commit: transactions whose commit record is appended but not
         # yet durable, in enqueue (= LSN) order.  Any physical log force —
         # the window filling, a WAL-rule page flush, a checkpoint — makes a
@@ -196,6 +206,11 @@ class TransactionManager:
             return None
 
         fire("txn.commit.begin")
+        # Optimistic validation happens before anything is made permanent:
+        # a failure leaves the transaction active, and the caller aborts it
+        # (backward validation against committed writers, Larson et al.).
+        if txn.occ and txn.read_keys and self.occ_validate is not None:
+            self.occ_validate(txn)
         # Late choice: the timestamp is drawn now, when serialization order
         # is settled, guaranteeing timestamp order == serialization order —
         # unless CURRENT TIME already pinned one (validated at every access).

@@ -96,7 +96,7 @@ class QueryableBackup:
         freeze_ts = self.engine.clock.now()
         btree = self.table.btree
         for leaf in list(btree.leaves()):
-            self.engine.tsmgr.stamp_page(leaf)
+            self.engine.tsmgr.stamp_page_for_split(leaf)
             if freeze_ts <= leaf.split_ts or not leaf.versions:
                 continue
             history_pid = self.engine.buffer.disk.allocate()

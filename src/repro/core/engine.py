@@ -17,10 +17,12 @@ path a restart after a real failure would take.
 from __future__ import annotations
 
 import datetime as _dt
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
 from repro.clock import SimClock, Timestamp
+from repro.concurrency.latching import NullLatch, ReentrantLatch
 from repro.concurrency.locks import LockManager
 from repro.concurrency.snapshot import SnapshotRegistry, prune_conventional_page
 from repro.concurrency.transaction import Transaction, TransactionManager, TxnMode
@@ -68,9 +70,14 @@ class ImmortalDB:
         asof_route_cache: bool = False,
         media_recovery: bool = False,
         io_retries: int = 0,
+        cc_mode: str = "2pl",
+        concurrent: bool = False,
+        log_force_latency_ms: float = 0.0,
     ) -> None:
         if timestamping not in ("lazy", "eager"):
             raise ValueError("timestamping must be 'lazy' or 'eager'")
+        if cc_mode not in ("2pl", "occ"):
+            raise ValueError("cc_mode must be '2pl' or 'occ'")
         if disk is not None and path is not None:
             raise ValueError("pass either a path or a disk, not both")
         # An injected disk (e.g. a fault-model wrapper) takes precedence.
@@ -103,6 +110,17 @@ class ImmortalDB:
             self.clock, self.log, self.tsmgr, self.locks, self,
             group_commit_window=group_commit_window,
         )
+        # Concurrent execution (all opt-in, see DESIGN.md "Concurrent
+        # execution").  cc_mode picks the concurrency-control ablation:
+        # "2pl" (default) blocks writers on record locks; "occ" runs default
+        # transactions as snapshot reads + commit-time validation.
+        self.cc_mode = cc_mode
+        self.concurrent = False
+        self._latch: NullLatch | ReentrantLatch = NullLatch()
+        self.txn_mgr.occ_validate = self._occ_validate
+        self.log.force_latency_ms = log_force_latency_ms
+        if concurrent:
+            self.enable_concurrency()
         self.checkpoints = CheckpointManager(self.log, self.buffer)
         # Media robustness, both off by default so the figure benchmarks and
         # crash-point enumeration are untouched.  ``io_retries`` retries
@@ -182,7 +200,7 @@ class ImmortalDB:
             history_index = TSBHistoryIndex(
                 self.buffer, schema.table_id, schema.tsb_root_pid
             )
-        btree.stamp_page = self.tsmgr.stamp_page
+        btree.stamp_page = self.tsmgr.stamp_page_for_split
         btree.history_index = history_index
         btree.route_cache = self.route_cache
         table = Table(self, schema, btree, history_index)
@@ -290,6 +308,62 @@ class ImmortalDB:
             return None
         return table.btree.search_leaf(key)
 
+    # -- concurrent execution -----------------------------------------------------------
+
+    def enable_concurrency(self) -> "ImmortalDB":
+        """Switch the engine to thread-safe operation (idempotent).
+
+        Turns the lock manager into its blocking flavour, installs the
+        engine latch that serializes structural work, and puts mutexes on
+        the buffer pool, the WAL append/force path, and the timestamp
+        manager's VTT/PTT transitions.  Single-threaded behaviour is
+        unchanged — the same operations happen in the same order, just
+        under (uncontended) latches — which is why the worker pool can call
+        this lazily on an engine built with the defaults.
+        """
+        if self.concurrent:
+            return self
+        self.concurrent = True
+        self._latch = ReentrantLatch()
+        self.locks.blocking = True
+        self.log.mutex = threading.RLock()
+        self.buffer.mutex = threading.RLock()
+        self.tsmgr.mutex = threading.RLock()
+        return self
+
+    @property
+    def latch(self) -> NullLatch | ReentrantLatch:
+        """The engine latch (a no-op object until concurrency is enabled)."""
+        return self._latch
+
+    def _occ_validate(self, txn: Transaction) -> None:
+        """Backward validation for ``cc_mode="occ"`` commits.
+
+        Every key the transaction read must still be current as of its
+        snapshot: a committed version newer than ``snapshot_ts`` means a
+        concurrent writer overwrote a read, so serializing this transaction
+        at its (about to be drawn) commit timestamp would be unsound.  The
+        write set is excluded — first-committer-wins already validated it
+        at write time.
+        """
+        assert txn.snapshot_ts is not None
+        for table_id, key in sorted(txn.read_keys - txn.writes):
+            table = self._tables_by_id.get(table_id)
+            if table is None:
+                continue
+            ts = table.latest_committed_ts(key)
+            if ts is not None and ts > txn.snapshot_ts:
+                self.txn_mgr.occ_validation_failures += 1
+                from repro.errors import OCCValidationError
+
+                raise OCCValidationError(
+                    f"transaction {txn.tid}: key {key!r} of table "
+                    f"{table_id} was overwritten at {ts}, after this "
+                    f"transaction's snapshot at {txn.snapshot_ts}",
+                    table_id=table_id,
+                    key=key,
+                )
+
     # -- transactions ------------------------------------------------------------------
 
     def begin(
@@ -301,20 +375,30 @@ class ImmortalDB:
         if as_of is not None:
             mode = TxnMode.AS_OF
             as_of = self.to_timestamp(as_of)
-        txn = self.txn_mgr.begin(mode, as_of=as_of)
-        if mode is TxnMode.SNAPSHOT:
-            assert txn.snapshot_ts is not None
-            self.snapshots.register(txn.tid, txn.snapshot_ts)
-        return txn
+        # The OCC ablation: default transactions become snapshot readers
+        # with commit-time validation.  Explicit SNAPSHOT requests keep
+        # plain snapshot-isolation semantics (no read validation).
+        occ = mode is TxnMode.SERIALIZABLE and self.cc_mode == "occ"
+        if occ:
+            mode = TxnMode.SNAPSHOT
+        with self._latch:
+            txn = self.txn_mgr.begin(mode, as_of=as_of)
+            txn.occ = occ
+            if mode is TxnMode.SNAPSHOT:
+                assert txn.snapshot_ts is not None
+                self.snapshots.register(txn.tid, txn.snapshot_ts)
+            return txn
 
     def commit(self, txn: Transaction) -> Timestamp | None:
-        ts = self.txn_mgr.commit(txn)
-        self.snapshots.unregister(txn.tid)
-        return ts
+        with self._latch:
+            ts = self.txn_mgr.commit(txn)
+            self.snapshots.unregister(txn.tid)
+            return ts
 
     def abort(self, txn: Transaction) -> None:
-        self.txn_mgr.abort(txn)
-        self.snapshots.unregister(txn.tid)
+        with self._latch:
+            self.txn_mgr.abort(txn)
+            self.snapshots.unregister(txn.tid)
 
     def flush_commits(self) -> None:
         """Force the log now if group-committed transactions await their ack.
@@ -322,7 +406,8 @@ class ImmortalDB:
         With ``group_commit_window=1`` (the default) every commit forces the
         log itself and this is a no-op.
         """
-        self.txn_mgr.flush_commits()
+        with self._latch:
+            self.txn_mgr.flush_commits()
 
     @contextmanager
     def transaction(
@@ -401,7 +486,15 @@ class ImmortalDB:
             if table.history_index is not None:
                 table.history_index.clear_cache()
         self.snapshots.clear()
-        self.locks = LockManager()
+        # A fresh lock table (all locks die with the process), but the
+        # concurrent-mode configuration survives the restart.
+        old_locks = self.locks
+        self.locks = LockManager(
+            blocking=old_locks.blocking,
+            wait_timeout_s=old_locks.wait_timeout_s,
+            victim_policy=old_locks.victim_policy,
+        )
+        self.locks.wait_hooks = old_locks.wait_hooks
         self.txn_mgr.locks = self.locks
         self.txn_mgr.active.clear()
         if self.repair is not None:
@@ -536,4 +629,10 @@ class ImmortalDB:
                 self.scrubber.stats.pages_scanned if self.scrubber else 0,
             "scrub_findings":
                 self.scrubber.stats.findings if self.scrubber else 0,
+            # Concurrent execution (all zero in single-threaded runs).
+            "lock_waits": self.locks.stats.lock_waits,
+            "lock_wait_ns": self.locks.stats.lock_wait_ns,
+            "deadlocks_detected": self.locks.stats.deadlocks_detected,
+            "txn_retries": self.txn_mgr.txn_retries,
+            "occ_validation_failures": self.txn_mgr.occ_validation_failures,
         }

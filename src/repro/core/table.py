@@ -215,22 +215,28 @@ class Table:
         """Insert a new record (fails if a live record already has the key)."""
         txn.require_writable()
         key, payload = self.codec.encode_row(row)
+        # Lock-then-latch discipline: the (possibly blocking) record lock is
+        # taken first; the engine latch is only held for the structural work
+        # and never across a lock wait (see DESIGN.md "Concurrent execution").
         self.engine.locks.lock_record_exclusive(txn.tid, self.table_id, key)
-        leaf = self.btree.search_leaf(key)
-        self._stamp_chain(leaf, key)
-        self._check_write_conflict(txn, leaf, key)
-        head = leaf.head(key)
-        if head is not None:
-            visible = visible_version(
-                leaf.chain(key), horizon=None, inclusive=False,
-                resolve=self._resolve, own_tid=txn.tid,
-            )
-            if visible is not None and not visible.is_delete_stub:
-                raise DuplicateKeyError(
-                    f"table {self.name}: key "
-                    f"{row[self.codec.key_column]!r} already exists"
+        with self.engine._latch:
+            leaf = self.btree.search_leaf(key)
+            self._stamp_chain(leaf, key)
+            self._check_write_conflict(txn, leaf, key)
+            head = leaf.head(key)
+            if head is not None:
+                visible = visible_version(
+                    leaf.chain(key), horizon=None, inclusive=False,
+                    resolve=self._resolve, own_tid=txn.tid,
                 )
-        self._log_and_apply_version(txn, VersionOpKind.INSERT, key, payload)
+                if visible is not None and not visible.is_delete_stub:
+                    raise DuplicateKeyError(
+                        f"table {self.name}: key "
+                        f"{row[self.codec.key_column]!r} already exists"
+                    )
+            self._log_and_apply_version(
+                txn, VersionOpKind.INSERT, key, payload
+            )
 
     def update(self, txn: Transaction, key_value, updates: dict) -> None:
         """Update a record: a new version (versioned) or in place (plain)."""
@@ -240,29 +246,42 @@ class Table:
             raise SQLExecutionError("primary key columns cannot be updated")
         key = self.codec.encode_key(key_value)
         self.engine.locks.lock_record_exclusive(txn.tid, self.table_id, key)
-        leaf = self.btree.search_leaf(key)
-        # "When we update a non-timestamped version of a record with a later
-        # version, all existing versions must be committed, and we timestamp
-        # them all" (§2.2) — except our own uncommitted versions.
-        self._stamp_chain(leaf, key)
-        self._check_write_conflict(txn, leaf, key)
-        current = visible_version(
-            leaf.chain(key), horizon=None, inclusive=False,
-            resolve=self._resolve, own_tid=txn.tid,
-        )
-        if current is None or current.is_delete_stub:
-            raise KeyNotFoundError(
-                f"table {self.name}: no record with key {key_value!r}"
+        with self.engine._latch:
+            leaf = self.btree.search_leaf(key)
+            # "When we update a non-timestamped version of a record with a
+            # later version, all existing versions must be committed, and we
+            # timestamp them all" (§2.2) — except our own uncommitted
+            # versions.
+            self._stamp_chain(leaf, key)
+            self._check_write_conflict(txn, leaf, key)
+            current = visible_version(
+                leaf.chain(key), horizon=None, inclusive=False,
+                resolve=self._resolve, own_tid=txn.tid,
             )
-        row = self.codec.decode_payload(current.payload)
-        row.update(
-            {k: v for k, v in updates.items() if k != self.codec.key_column}
-        )
-        payload = self.codec.encode_payload(row)
-        if self.versioned:
-            self._log_and_apply_version(txn, VersionOpKind.UPDATE, key, payload)
-        else:
-            self._update_in_place(txn, key, current.payload, payload)
+            if current is None or current.is_delete_stub:
+                raise KeyNotFoundError(
+                    f"table {self.name}: no record with key {key_value!r}"
+                )
+            row = self.codec.decode_payload(current.payload)
+            row.update(
+                {k: v for k, v in updates.items()
+                 if k != self.codec.key_column}
+            )
+            payload = self.codec.encode_payload(row)
+            head = leaf.head(key)
+            if self.versioned and not (
+                head is not None and not head.is_timestamped
+                and head.tid == txn.tid and not head.is_delete_stub
+            ):
+                self._log_and_apply_version(
+                    txn, VersionOpKind.UPDATE, key, payload
+                )
+            else:
+                # Conventional table — or a re-update of this transaction's
+                # own uncommitted version: one version per (record,
+                # transaction), so a chain never carries two versions with
+                # the same commit timestamp.
+                self._update_in_place(txn, key, current.payload, payload)
 
     def _update_in_place(
         self, txn: Transaction, key: bytes, before: bytes, after: bytes
@@ -300,18 +319,19 @@ class Table:
         txn.require_writable()
         key = self.codec.encode_key(key_value)
         self.engine.locks.lock_record_exclusive(txn.tid, self.table_id, key)
-        leaf = self.btree.search_leaf(key)
-        self._stamp_chain(leaf, key)
-        self._check_write_conflict(txn, leaf, key)
-        current = visible_version(
-            leaf.chain(key), horizon=None, inclusive=False,
-            resolve=self._resolve, own_tid=txn.tid,
-        )
-        if current is None or current.is_delete_stub:
-            raise KeyNotFoundError(
-                f"table {self.name}: no record with key {key_value!r}"
+        with self.engine._latch:
+            leaf = self.btree.search_leaf(key)
+            self._stamp_chain(leaf, key)
+            self._check_write_conflict(txn, leaf, key)
+            current = visible_version(
+                leaf.chain(key), horizon=None, inclusive=False,
+                resolve=self._resolve, own_tid=txn.tid,
             )
-        self._log_and_apply_version(txn, VersionOpKind.DELETE, key, b"")
+            if current is None or current.is_delete_stub:
+                raise KeyNotFoundError(
+                    f"table {self.name}: no record with key {key_value!r}"
+                )
+            self._log_and_apply_version(txn, VersionOpKind.DELETE, key, b"")
 
     # -- point reads -----------------------------------------------------------------------
 
@@ -328,11 +348,33 @@ class Table:
         key = self.codec.encode_key(key_value)
         if txn.mode is TxnMode.SERIALIZABLE:
             self.engine.locks.lock_record_shared(txn.tid, self.table_id, key)
+        if txn.occ:
+            # Optimistic reads take no lock; the key joins the read set and
+            # is re-validated against later committers at commit time.
+            txn.read_keys.add((self.table_id, key))
         horizon, inclusive = self._horizon(txn)
-        try:
-            return self._read_at(txn, key, horizon, inclusive)
-        except PageQuarantinedError as exc:
-            return self._degraded_read(txn, key, horizon, inclusive, exc)
+        with self.engine._latch:
+            try:
+                return self._read_at(txn, key, horizon, inclusive)
+            except PageQuarantinedError as exc:
+                return self._degraded_read(txn, key, horizon, inclusive, exc)
+
+    def latest_committed_ts(self, key: bytes) -> Timestamp | None:
+        """Timestamp of the newest *committed* version of ``key``.
+
+        The OCC validator compares this against a committing transaction's
+        snapshot; uncommitted heads are skipped — a writer that has not
+        committed yet will receive a later timestamp than the validator's
+        transaction, which is consistent with the read not seeing it.
+        """
+        leaf = self.btree.search_leaf(key)
+        for version in leaf.chain(key):
+            if version.is_timestamped:
+                return version.timestamp
+            ts, committed = self._resolve(version.tid)
+            if committed:
+                return ts
+        return None
 
     def _read_at(
         self,
@@ -517,8 +559,24 @@ class Table:
             self.engine.locks.lock_table_shared(txn.tid, self.table_id)
         horizon, inclusive = self._horizon(txn)
         if horizon is not None:
-            return self._scan_at_iter(horizon, inclusive, own_tid=txn.tid)
-        return self._scan_current_gen(txn)
+            gen = self._scan_at_iter(horizon, inclusive, own_tid=txn.tid)
+        else:
+            gen = self._scan_current_gen(txn)
+        return self._materialized_if_concurrent(gen)
+
+    def _materialized_if_concurrent(self, gen: Iterator) -> Iterator:
+        """Concurrent mode trades scan laziness for consistency.
+
+        A lazily-consumed scan would touch pages between other threads'
+        mutations; under the engine latch the whole scan runs as one
+        critical section and the caller iterates a stable snapshot of rows.
+        Single-threaded mode returns the generator untouched (streaming
+        semantics, identical costs).
+        """
+        if not self.engine.concurrent:
+            return gen
+        with self.engine._latch:
+            return iter(list(gen))
 
     def _scan_current_gen(self, txn: Transaction) -> Iterator[dict]:
         stats = self.engine.asof_stats
@@ -543,7 +601,9 @@ class Table:
     def scan_as_of_iter(self, ts: Timestamp) -> Iterator[dict]:
         """Streaming :meth:`scan_as_of` (see :meth:`scan_iter`)."""
         self._require_immortal_for_asof()
-        return self._scan_at_iter(ts, inclusive=True, own_tid=None)
+        return self._materialized_if_concurrent(
+            self._scan_at_iter(ts, inclusive=True, own_tid=None)
+        )
 
     def _scan_at_iter(
         self, ts: Timestamp, inclusive: bool, own_tid: int | None
@@ -635,6 +695,16 @@ class Table:
         after the first few versions never decodes the rest.
         """
         self._require_immortal_for_asof()
+        return self._materialized_if_concurrent(
+            self._history_gen(key_value, t_low, t_high)
+        )
+
+    def _history_gen(
+        self,
+        key_value,
+        t_low: Timestamp | None,
+        t_high: Timestamp | None,
+    ) -> Iterator[tuple[Timestamp, dict | None]]:
         key = self.codec.encode_key(key_value)
         leaf = self.btree.search_leaf(key)
         stats = self.engine.asof_stats
@@ -710,8 +780,8 @@ class Table:
         if txn.mode is TxnMode.SERIALIZABLE:
             self.engine.locks.lock_table_shared(txn.tid, self.table_id)
         horizon, inclusive = self._horizon(txn)
-        return self._scan_range_gen(
-            txn, low_img, high_img, horizon, inclusive
+        return self._materialized_if_concurrent(
+            self._scan_range_gen(txn, low_img, high_img, horizon, inclusive)
         )
 
     def _scan_range_gen(

@@ -155,15 +155,68 @@ class ConcurrencyError(ImmortalDBError):
 
 
 class LockConflictError(ConcurrencyError):
-    """A lock request conflicts with a lock held by another transaction."""
+    """A lock request conflicts with a lock held by another transaction.
 
-    def __init__(self, message: str, holder_tid: int | None = None) -> None:
+    Carries the full waits-for edge the failed request would have created:
+    the waiter, every conflicting holder with its mode, the resource, and
+    the requested mode — enough to print (or assert on) the exact conflict
+    without consulting the lock table.  ``holder_tid`` remains the first
+    conflicting holder for backward compatibility.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        holder_tid: int | None = None,
+        *,
+        waiter_tid: int | None = None,
+        holder_tids: tuple[int, ...] = (),
+        holder_modes: tuple = (),
+        resource=None,
+        requested_mode=None,
+    ) -> None:
         super().__init__(message)
         self.holder_tid = holder_tid
+        self.waiter_tid = waiter_tid
+        self.holder_tids = holder_tids
+        self.holder_modes = holder_modes
+        self.resource = resource
+        self.requested_mode = requested_mode
 
 
 class DeadlockError(ConcurrencyError):
-    """A lock wait would create a cycle in the waits-for graph."""
+    """A lock wait would create a cycle in the waits-for graph.
+
+    Raised in the victim transaction's thread.  ``cycle`` is the TID cycle
+    that was detected (victim included) and ``victim_tid`` the transaction
+    chosen to abort; callers abort it and usually retry with backoff.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: tuple[int, ...] = (),
+        victim_tid: int | None = None,
+        resource=None,
+    ) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.victim_tid = victim_tid
+        self.resource = resource
+
+
+class OCCValidationError(ConcurrencyError):
+    """Optimistic commit validation failed: a key this transaction read was
+    overwritten by a commit after its snapshot was taken (``cc_mode="occ"``).
+    The transaction must abort and retry against a fresh snapshot."""
+
+    def __init__(
+        self, message: str, *, table_id: int | None = None, key: bytes | None = None
+    ) -> None:
+        super().__init__(message)
+        self.table_id = table_id
+        self.key = key
 
 
 class TransactionStateError(ConcurrencyError):

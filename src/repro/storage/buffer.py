@@ -19,8 +19,11 @@ latch to stamp a record, shared latch for a plain read of a stamped one).
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Iterator
+
+_NO_MUTEX = nullcontext()
 
 from repro.errors import (
     BufferPoolError,
@@ -81,11 +84,20 @@ class BufferPool:
         # repaired page (admitted as a clean frame) instead of letting the
         # error propagate.  Set by the media-recovery manager.
         self.fault_handler: Callable[[int, Exception], Page] | None = None
+        # Concurrent mode installs an RLock here; None (the default) keeps
+        # the single-threaded fast path lock-free.  The engine latch already
+        # serializes table operations — this mutex additionally covers
+        # direct buffer calls (flushes, scrub probes) from other threads.
+        self.mutex = None
 
     # -- fetching ---------------------------------------------------------------
 
     def get_page(self, page_id: int) -> Page:
         """Fetch a page, reading it from disk on a miss."""
+        with self.mutex or _NO_MUTEX:
+            return self._get_page_locked(page_id)
+
+    def _get_page_locked(self, page_id: int) -> Page:
         frame = self._frames.get(page_id)
         if frame is not None:
             self.stats.hits += 1
@@ -132,13 +144,14 @@ class BufferPool:
 
     def new_page(self, factory: Callable[[int], Page]) -> Page:
         """Allocate a fresh page id on disk and cache ``factory(page_id)``."""
-        page_id = self.disk.allocate()
-        page = factory(page_id)
-        if page.page_id != page_id:
-            raise BufferPoolError("factory ignored the allocated page id")
-        frame = Frame(page, dirty=True, rec_lsn=page.lsn)
-        self._admit(frame)
-        return page
+        with self.mutex or _NO_MUTEX:
+            page_id = self.disk.allocate()
+            page = factory(page_id)
+            if page.page_id != page_id:
+                raise BufferPoolError("factory ignored the allocated page id")
+            frame = Frame(page, dirty=True, rec_lsn=page.lsn)
+            self._admit(frame)
+            return page
 
     def replace_page(self, page: Page) -> None:
         """Swap in a rebuilt in-memory image for an existing page id.
@@ -146,17 +159,18 @@ class BufferPool:
         Page splits rebuild the current page object from scratch; the new
         object takes over the old frame (same page id) and is dirty.
         """
-        frame = self._frames.get(page.page_id)
-        if frame is None:
-            if not self.disk.exists(page.page_id):
-                raise BufferPoolError(f"page {page.page_id} does not exist")
-            frame = Frame(page)
-            self._admit(frame)
-        else:
-            frame.page = page
-        if not frame.dirty:
-            frame.rec_lsn = page.lsn
-        frame.dirty = True
+        with self.mutex or _NO_MUTEX:
+            frame = self._frames.get(page.page_id)
+            if frame is None:
+                if not self.disk.exists(page.page_id):
+                    raise BufferPoolError(f"page {page.page_id} does not exist")
+                frame = Frame(page)
+                self._admit(frame)
+            else:
+                frame.page = page
+            if not frame.dirty:
+                frame.rec_lsn = page.lsn
+            frame.dirty = True
 
     def contains(self, page_id: int) -> bool:
         return page_id in self._frames
@@ -164,16 +178,20 @@ class BufferPool:
     # -- dirty / flush -----------------------------------------------------------
 
     def mark_dirty(self, page_id: int, rec_lsn: int | None = None) -> None:
-        frame = self._require_frame(page_id)
-        # mark_dirty means "this page's content changed"; mutations that go
-        # through an attribute the page object can see already invalidated
-        # the encode cache, but in-place record mutations (stamping) do not,
-        # so the dirty notification doubles as the cache invalidation point.
-        frame.page.touch()
-        if not frame.dirty:
-            frame.dirty = True
-            frame.rec_lsn = rec_lsn if rec_lsn is not None else frame.page.lsn
-        self._frames.move_to_end(page_id)
+        with self.mutex or _NO_MUTEX:
+            frame = self._require_frame(page_id)
+            # mark_dirty means "this page's content changed"; mutations that
+            # go through an attribute the page object can see already
+            # invalidated the encode cache, but in-place record mutations
+            # (stamping) do not, so the dirty notification doubles as the
+            # cache invalidation point.
+            frame.page.touch()
+            if not frame.dirty:
+                frame.dirty = True
+                frame.rec_lsn = (
+                    rec_lsn if rec_lsn is not None else frame.page.lsn
+                )
+            self._frames.move_to_end(page_id)
 
     def is_dirty(self, page_id: int) -> bool:
         frame = self._frames.get(page_id)
@@ -186,17 +204,19 @@ class BufferPool:
         }
 
     def flush_page(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None or not frame.dirty:
-            return
-        self._write_back(frame)
+        with self.mutex or _NO_MUTEX:
+            frame = self._frames.get(page_id)
+            if frame is None or not frame.dirty:
+                return
+            self._write_back(frame)
 
     def flush_all(self) -> None:
         # Page-id order: consecutive ids reach the disk layer sequentially,
         # earning its sequential-write credit (and, on real hardware, an
         # elevator-friendly write pattern).
-        for pid in sorted(self._frames):
-            self.flush_page(pid)
+        with self.mutex or _NO_MUTEX:
+            for pid in sorted(self._frames):
+                self.flush_page(pid)
 
     def _write_back(self, frame: Frame) -> None:
         fire("buffer.flush.begin")

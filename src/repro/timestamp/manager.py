@@ -26,6 +26,7 @@ zero, and the entry becomes collectable only once the redo scan start point
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable
 
@@ -37,6 +38,8 @@ from repro.timestamp.ptt import PersistentTimestampTable
 from repro.timestamp.vtt import VolatileTimestampTable
 from repro.wal.log import LogManager
 from repro.wal.records import PTTDelete
+
+_NO_MUTEX = nullcontext()
 
 
 @dataclass
@@ -81,12 +84,18 @@ class TimestampManager:
         # every post-restart snapshot is semantically equivalent; recovery
         # sets this fallback to the restart time.
         self.recovery_fallback: Timestamp | None = None
+        # Concurrent mode installs an RLock here, guarding every VTT/PTT
+        # mutation (begin/commit/abort transitions, stamping's decrement,
+        # GC's drop) plus resolve's VTT cache fill.  None by default: the
+        # single-threaded paths stay lock-free.
+        self.mutex = None
         buffer.pre_flush_hooks.append(self._flush_hook)
 
     # -- stage I ---------------------------------------------------------------
 
     def on_begin(self, tid: int, *, is_snapshot: bool = False) -> None:
-        self.vtt.begin(tid, is_snapshot=is_snapshot)
+        with self.mutex or _NO_MUTEX:
+            self.vtt.begin(tid, is_snapshot=is_snapshot)
 
     # -- stage II --------------------------------------------------------------
 
@@ -94,7 +103,8 @@ class TimestampManager:
         self, tid: int, table_id: int, page_id: int, key: bytes
     ) -> None:
         """A new version was written, marked with ``tid``."""
-        self.vtt.increment(tid)
+        with self.mutex or _NO_MUTEX:
+            self.vtt.increment(tid)
 
     # -- stage III ----------------------------------------------------------------
 
@@ -109,40 +119,44 @@ class TimestampManager:
         ``persistent`` is True when the transaction updated an immortal
         table, i.e. its TID→timestamp mapping must survive a crash.
         """
-        entry = self.vtt.set_committed(
-            tid, ts, self.log.end_lsn, commit_lsn=commit_lsn
-        )
-        entry.persistent = persistent
-        if persistent:
-            self.ptt.insert(tid, ts, rec_lsn=commit_lsn)
-            self.stats.ptt_inserts += 1
-        elif entry.refcount == 0:
-            # Nothing awaits stamping and nothing is in the PTT: the entry
-            # has no further use (snapshot-only transactions especially).
-            self.vtt.drop(tid)
+        with self.mutex or _NO_MUTEX:
+            entry = self.vtt.set_committed(
+                tid, ts, self.log.end_lsn, commit_lsn=commit_lsn
+            )
+            entry.persistent = persistent
+            if persistent:
+                self.ptt.insert(tid, ts, rec_lsn=commit_lsn)
+                self.stats.ptt_inserts += 1
+            elif entry.refcount == 0:
+                # Nothing awaits stamping and nothing is in the PTT: the
+                # entry has no further use (snapshot-only transactions
+                # especially).
+                self.vtt.drop(tid)
 
     def on_abort(self, tid: int) -> None:
         """Rollback removes the transaction's versions; the entry is useless."""
-        self.vtt.drop(tid)
+        with self.mutex or _NO_MUTEX:
+            self.vtt.drop(tid)
 
     # -- stage IV -----------------------------------------------------------------
 
     def resolve(self, tid: int) -> tuple[Timestamp | None, bool]:
         """TID → (timestamp, committed?).  (None, False) while still active."""
-        entry = self.vtt.get(tid)
-        if entry is not None:
-            if entry.is_active:
-                return None, False
-            self.stats.vtt_hits += 1
-            return entry.timestamp, True
-        self.stats.ptt_lookups += 1
-        ts = self.ptt.lookup(tid)
-        if ts is None:
-            raise UnknownTransactionError(
-                f"TID {tid} is in neither the VTT nor the PTT"
-            )
-        self.vtt.cache_from_ptt(tid, ts)
-        return ts, True
+        with self.mutex or _NO_MUTEX:
+            entry = self.vtt.get(tid)
+            if entry is not None:
+                if entry.is_active:
+                    return None, False
+                self.stats.vtt_hits += 1
+                return entry.timestamp, True
+            self.stats.ptt_lookups += 1
+            ts = self.ptt.lookup(tid)
+            if ts is None:
+                raise UnknownTransactionError(
+                    f"TID {tid} is in neither the VTT nor the PTT"
+                )
+            self.vtt.cache_from_ptt(tid, ts)
+            return ts, True
 
     def resolve_with_fallback(
         self, tid: int, *, immortal: bool
@@ -186,19 +200,20 @@ class TimestampManager:
         never logged, so a stamped version reaching disk before its commit
         record would survive a crash that rolls the transaction back.
         """
-        tid = version.tid
-        ts, committed = self.resolve_with_fallback(tid, immortal=immortal)
-        if not committed:
-            return False
-        entry = self.vtt.get(tid)
-        if entry is not None and entry.commit_lsn is not None \
-                and entry.commit_lsn >= self.log.flushed_lsn:
-            return False
-        assert ts is not None
-        version.stamp(ts)
-        self.stats.stamps += 1
-        self._after_stamp(tid)
-        return True
+        with self.mutex or _NO_MUTEX:
+            tid = version.tid
+            ts, committed = self.resolve_with_fallback(tid, immortal=immortal)
+            if not committed:
+                return False
+            entry = self.vtt.get(tid)
+            if entry is not None and entry.commit_lsn is not None \
+                    and entry.commit_lsn >= self.log.flushed_lsn:
+                return False
+            assert ts is not None
+            version.stamp(ts)
+            self.stats.stamps += 1
+            self._after_stamp(tid)
+            return True
 
     def _after_stamp(self, tid: int) -> None:
         entry = self.vtt.get(tid)
@@ -243,6 +258,37 @@ class TimestampManager:
                 self.buffer.mark_dirty(page.page_id)
         return stamped
 
+    def stamp_page_for_split(self, page: DataPage) -> int:
+        """Stage-IV trigger ahead of a time split.
+
+        A time split partitions versions by timestamp, so every *committed*
+        version must be stamped before the split classifies it — a
+        committed version left TID-marked would be treated as uncommitted
+        (case 4, current page only) even though its commit time falls
+        before the split time, and as-of reads routed to the history page
+        would miss it.  Ordinary stamping declines a version while its
+        commit record sits in the unforced log buffer (group commit); here
+        that is not an option, so force the log and stamp again.  Only
+        genuinely uncommitted versions remain TID-marked on return.
+        """
+        stamped = self.stamp_page(page)
+        if page.has_unstamped_records() and self._committed_unstamped(page):
+            self.log.force()
+            stamped += self.stamp_page(page)
+        return stamped
+
+    def _committed_unstamped(self, page: DataPage) -> bool:
+        """Any unstamped version whose writer has already committed?"""
+        with self.mutex or _NO_MUTEX:
+            for version in page.unstamped_versions():
+                entry = self.vtt.get(version.tid)
+                if entry is not None:
+                    if not entry.is_active:
+                        return True
+                elif self.ptt.lookup(version.tid) is not None:
+                    return True
+        return False
+
     def _flush_hook(self, page: Page) -> None:
         if isinstance(page, DataPage):
             self.stamp_page(page, mark_dirty=False)
@@ -259,15 +305,17 @@ class TimestampManager:
         entries removed.
         """
         removed = 0
-        for tid, entry in self.vtt.gc_candidates():
-            if entry.done_lsn is None or redo_scan_start_lsn <= entry.done_lsn:
-                continue
-            if entry.persistent:
-                lsn = self.log.append(PTTDelete(subject_tid=tid))
-                self.ptt.delete(tid, rec_lsn=lsn)
-                self.stats.ptt_deletes += 1
-                removed += 1
-            self.vtt.drop(tid)
+        with self.mutex or _NO_MUTEX:
+            for tid, entry in self.vtt.gc_candidates():
+                if entry.done_lsn is None \
+                        or redo_scan_start_lsn <= entry.done_lsn:
+                    continue
+                if entry.persistent:
+                    lsn = self.log.append(PTTDelete(subject_tid=tid))
+                    self.ptt.delete(tid, rec_lsn=lsn)
+                    self.stats.ptt_deletes += 1
+                    removed += 1
+                self.vtt.drop(tid)
         return removed
 
     # -- recovery support --------------------------------------------------------------------

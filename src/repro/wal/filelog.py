@@ -28,7 +28,7 @@ import zlib
 
 from repro.errors import LogFormatError, WALError
 from repro.faults.failpoints import fire
-from repro.wal.log import LogManager
+from repro.wal.log import LogManager, _NO_MUTEX
 from repro.wal.records import LogRecord
 
 _LEN = 4
@@ -96,28 +96,34 @@ class FileLogManager(LogManager):
     # -- appending / forcing ---------------------------------------------------------
 
     def append(self, record: LogRecord) -> int:
-        lsn = super().append(record)
-        raw = self._raws[-1]
-        frame = (
-            len(raw).to_bytes(_LEN, "big")
-            + zlib.crc32(raw).to_bytes(_CRC, "big")
-            + raw
-        )
-        self._pending.append(frame)
-        return lsn
+        # The mutex (an RLock, shared with the base class) covers the
+        # append-then-frame sequence so concurrent appends cannot interleave
+        # between LSN assignment and the pending-frame push.
+        with self.mutex or _NO_MUTEX:
+            lsn = super().append(record)
+            raw = self._raws[-1]
+            frame = (
+                len(raw).to_bytes(_LEN, "big")
+                + zlib.crc32(raw).to_bytes(_CRC, "big")
+                + raw
+            )
+            self._pending.append(frame)
+            return lsn
 
     def force(self, upto_lsn: int | None = None) -> None:
-        target = self._end_lsn if upto_lsn is None else min(upto_lsn, self._end_lsn)
-        if target <= self._flushed_lsn:
-            return
-        if self._pending:
-            fire("filelog.write")
-            self._file.write(b"".join(self._pending))
-            self._pending.clear()
-            self._file.flush()
-            fire("filelog.fsync")
-            os.fsync(self._file.fileno())
-        super().force(upto_lsn)
+        with self.mutex or _NO_MUTEX:
+            target = self._end_lsn if upto_lsn is None \
+                else min(upto_lsn, self._end_lsn)
+            if target <= self._flushed_lsn:
+                return
+            if self._pending:
+                fire("filelog.write")
+                self._file.write(b"".join(self._pending))
+                self._pending.clear()
+                self._file.flush()
+                fire("filelog.fsync")
+                os.fsync(self._file.fileno())
+            super().force(upto_lsn)
 
     def set_master_checkpoint(self, lsn: int) -> None:
         super().set_master_checkpoint(lsn)

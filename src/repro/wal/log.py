@@ -14,13 +14,17 @@ this is what makes the paper's 9.6 ms baseline).
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_right
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import WALError
 from repro.faults.failpoints import fire
 from repro.wal.records import CompensationRecord, LogRecord, MultiPageImage
+
+_NO_MUTEX = nullcontext()
 
 
 @dataclass
@@ -79,6 +83,15 @@ class LogManager:
         # a commit batch filling, a WAL-rule page flush, a checkpoint —
         # durably acks whatever commits it happens to cover.
         self.post_force_hooks: list[Callable[[], None]] = []
+        # Concurrent mode installs an RLock here so parallel workers can
+        # append/force safely; None (the default) keeps the single-threaded
+        # fast path free of any locking.
+        self.mutex = None
+        # Simulated synchronous-commit device latency, paid once per
+        # *physical* force (default 0.0: off).  The sleep releases the GIL,
+        # so under the worker pool a single force genuinely overlaps other
+        # workers' progress — this is the latency group commit amortizes.
+        self.force_latency_ms = 0.0
 
     # -- appending ---------------------------------------------------------
 
@@ -86,16 +99,17 @@ class LogManager:
         """Append a record; returns its LSN (not yet durable)."""
         fire("log.append")
         raw = record.to_bytes()
-        record.lsn = self._end_lsn
-        self._lsns.append(self._end_lsn)
-        self._raws.append(raw)
-        self._end_lsn += self.FRAME_BYTES + len(raw)
-        self.stats.appends += 1
-        self.stats.bytes_appended += self.FRAME_BYTES + len(raw)
-        if isinstance(record, (MultiPageImage, CompensationRecord)):
-            self.stats.image_records += 1
-            self.stats.image_bytes += self.FRAME_BYTES + len(raw)
-        return record.lsn
+        with self.mutex or _NO_MUTEX:
+            record.lsn = self._end_lsn
+            self._lsns.append(self._end_lsn)
+            self._raws.append(raw)
+            self._end_lsn += self.FRAME_BYTES + len(raw)
+            self.stats.appends += 1
+            self.stats.bytes_appended += self.FRAME_BYTES + len(raw)
+            if isinstance(record, (MultiPageImage, CompensationRecord)):
+                self.stats.image_records += 1
+                self.stats.image_bytes += self.FRAME_BYTES + len(raw)
+            return record.lsn
 
     @property
     def end_lsn(self) -> int:
@@ -124,15 +138,19 @@ class LogManager:
         A no-op when the prefix is already durable — so the stats count
         *physical* forces, which is what group commit would pay for.
         """
-        target = self._end_lsn if upto_lsn is None else min(upto_lsn, self._end_lsn)
-        if target <= self._flushed_lsn:
-            return
-        fire("log.force")
-        self.stats.forced_bytes += self._end_lsn - self._flushed_lsn
-        self._flushed_lsn = self._end_lsn
-        self.stats.forces += 1
-        for hook in self.post_force_hooks:
-            hook()
+        with self.mutex or _NO_MUTEX:
+            target = self._end_lsn if upto_lsn is None \
+                else min(upto_lsn, self._end_lsn)
+            if target <= self._flushed_lsn:
+                return
+            fire("log.force")
+            if self.force_latency_ms > 0.0:
+                time.sleep(self.force_latency_ms / 1000.0)
+            self.stats.forced_bytes += self._end_lsn - self._flushed_lsn
+            self._flushed_lsn = self._end_lsn
+            self.stats.forces += 1
+            for hook in self.post_force_hooks:
+                hook()
 
     # -- master record ---------------------------------------------------------
 

@@ -1,0 +1,244 @@
+"""Scripted interleavings under the deterministic scheduler.
+
+Each scenario pins one concurrency-sensitive ordering — write-write
+conflict, deadlock cycle, commit racing a scan, abort racing a group
+commit — and asserts both the outcome and (where it matters) the exact
+schedule trace, so a regression shows up as a changed schedule rather
+than a flaky stress failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, ImmortalDB
+from repro.core.integrity import verify_integrity
+from repro.errors import ConcurrencyError, DeadlockError
+from repro.faults.failpoints import FailpointRegistry, installed
+from repro.workers.interleave import InterleaveScheduler
+from repro.workers.sweep import run_one
+
+COLS = [("k", ColumnType.INT), ("v", ColumnType.INT)]
+
+
+def _make_db(**kwargs) -> tuple[ImmortalDB, object]:
+    db = ImmortalDB(buffer_pages=64, **kwargs)
+    table = db.create_table("t", COLS, key="k", immortal=True)
+    with db.transaction() as txn:
+        for k in range(8):
+            table.insert(txn, {"k": k, "v": 0})
+    db.flush_commits()
+    return db, table
+
+
+class TestScriptedScenarios:
+    def test_write_write_conflict_blocks_then_serializes(self):
+        db, table = _make_db()
+        order: list[str] = []
+
+        def a(ctx):
+            txn = db.begin()
+            table.update(txn, 0, {"v": table.read(txn, 0)["v"] + 1})
+            order.append("a-updated")
+            ctx.pause(to="B")          # let B run into our X lock
+            db.commit(txn)
+            order.append("a-committed")
+
+        def b(ctx):
+            txn = db.begin()
+            order.append("b-before-update")
+            table.update(txn, 0, {"v": table.read(txn, 0)["v"] + 1})
+            order.append("b-updated")   # only after A released its lock
+            db.commit(txn)
+            order.append("b-committed")
+
+        sched = InterleaveScheduler(db)
+        sched.spawn("A", a)
+        sched.spawn("B", b)
+        sched.run()
+
+        assert order == [
+            "a-updated", "b-before-update", "a-committed",
+            "b-updated", "b-committed",
+        ]
+        with db.transaction() as txn:
+            assert table.read(txn, 0)["v"] == 2
+        assert sched.trace == [
+            "run A", "pause A", "run B", "block B",
+            "run A", "wake B", "done A", "run B", "done B",
+        ]
+
+    def test_deadlock_cycle_victim_aborts_survivor_commits(self):
+        db, table = _make_db()
+        outcome: dict[str, str] = {}
+
+        def a(ctx):
+            txn = db.begin()
+            table.update(txn, 0, {"v": 1})
+            ctx.pause(to="B")           # B takes k1, then blocks on k0
+            # Closing the cycle: we are the detector; B (younger) dies.
+            table.update(txn, 1, {"v": 1})
+            db.commit(txn)
+            outcome["A"] = "committed"
+
+        def b(ctx):
+            txn = db.begin()
+            table.update(txn, 1, {"v": 2})
+            try:
+                table.update(txn, 0, {"v": 2})   # blocks behind A
+                db.commit(txn)
+                outcome["B"] = "committed"
+            except DeadlockError as exc:
+                assert exc.victim_tid == txn.tid
+                db.abort(txn)
+                outcome["B"] = "victim"
+
+        sched = InterleaveScheduler(db)
+        sched.spawn("A", a)
+        sched.spawn("B", b)
+        sched.run()
+
+        assert outcome == {"A": "committed", "B": "victim"}
+        assert db.stats()["deadlocks_detected"] == 1
+        with db.transaction() as txn:
+            assert table.read(txn, 0)["v"] == 1   # A's write
+            assert table.read(txn, 1)["v"] == 1   # B's was rolled back
+        assert verify_integrity(db) == []
+
+    def test_commit_during_scan_waits_for_table_lock(self):
+        """A serializable scan's table-S lock holds writers out until the
+        scanning transaction commits — no write skew past a scan."""
+        db, table = _make_db()
+        seen: dict[str, object] = {}
+
+        def scanner(ctx):
+            txn = db.begin()
+            rows = table.scan(txn)             # takes table S
+            seen["scan"] = sum(r["v"] for r in rows)
+            ctx.pause(to="writer")             # writer blocks on its IX
+            seen["rescan"] = sum(r["v"] for r in table.scan(txn))
+            db.commit(txn)                     # releases S; writer wakes
+
+        def writer(ctx):
+            txn = db.begin()
+            table.update(txn, 3, {"v": 10})    # IX vs S: parked
+            db.commit(txn)
+            seen["writer-done"] = True
+
+        sched = InterleaveScheduler(db)
+        sched.spawn("scanner", scanner)
+        sched.spawn("writer", writer)
+        sched.run()
+
+        assert seen["scan"] == 0
+        assert seen["rescan"] == 0     # repeatable: writer never slipped in
+        assert seen["writer-done"]
+        assert db.stats()["lock_waits"] >= 1
+        with db.transaction() as txn:
+            assert table.read(txn, 3)["v"] == 10
+
+    def test_abort_during_group_commit_window(self):
+        """A volatile (unforced) commit and a racing abort share a window:
+        the commit must survive the flush, the abort must roll back."""
+        db, table = _make_db(group_commit_window=4)
+        tss: dict[str, object] = {}
+
+        def a(ctx):
+            txn = db.begin()
+            table.update(txn, 0, {"v": 7})
+            tss["A"] = db.commit(txn)   # volatile: window not full
+            ctx.pause(to="B")
+
+        def b(ctx):
+            txn = db.begin()
+            table.update(txn, 1, {"v": 8})
+            db.abort(txn)               # abort rides the same window
+
+        sched = InterleaveScheduler(db)
+        sched.spawn("A", a)
+        sched.spawn("B", b)
+        sched.run()
+        db.flush_commits()
+
+        assert db.txn_mgr.unacked_commits == 0
+        with db.transaction() as txn:
+            assert table.read(txn, 0)["v"] == 7    # durable
+            assert table.read(txn, 1)["v"] == 0    # rolled back
+        assert table.read_as_of(tss["A"], 0)["v"] == 7
+        assert verify_integrity(db) == []
+
+    def test_pause_to_blocked_peer_is_a_script_bug(self):
+        db, table = _make_db()
+
+        def a(ctx):
+            txn = db.begin()
+            table.update(txn, 0, {"v": 1})
+            ctx.pause(to="B")
+            try:
+                ctx.pause(to="B")       # B is blocked on our lock: bug
+                db.commit(txn)
+            except ConcurrencyError:
+                db.abort(txn)           # unblocks B; the error resurfaces
+                raise
+
+        def b(ctx):
+            with db.transaction() as txn:
+                table.update(txn, 0, {"v": 2})
+
+        sched = InterleaveScheduler(db)
+        sched.spawn("A", a)
+        sched.spawn("B", b)
+        with pytest.raises(ConcurrencyError, match="cannot hand the token"):
+            sched.run()
+
+
+class TestDeterminism:
+    def _trace_once(self, seed: int) -> list[str]:
+        db, table = _make_db()
+        sched = InterleaveScheduler(db, seed=seed, switch_probability=0.5)
+        registry = FailpointRegistry()
+        sched.attach_failpoints(registry)
+
+        def worker(base: int):
+            def body(ctx):
+                for i in range(3):
+                    txn = db.begin()
+                    try:
+                        k = (base + i) % 4
+                        row = table.read(txn, k)
+                        table.update(txn, k, {"v": row["v"] + 1})
+                        db.commit(txn)
+                    except ConcurrencyError:
+                        db.abort(txn)
+                    ctx.pause()
+            return body
+
+        sched.spawn("P", worker(0))
+        sched.spawn("Q", worker(2))
+        sched.spawn("R", worker(1))
+        with installed(registry):
+            sched.run()
+        return list(sched.trace)
+
+    def test_same_seed_same_trace(self):
+        assert self._trace_once(7) == self._trace_once(7)
+
+    def test_different_seed_different_trace(self):
+        # Not guaranteed in principle, but with preemption at every
+        # failpoint crossing these seeds do diverge — a tripwire for an
+        # RNG that stopped being consulted.
+        assert self._trace_once(3) != self._trace_once(4)
+
+
+class TestSweepSmoke:
+    def test_forced_deadlock_seed_is_clean(self):
+        report = run_one(0, scripts=2, txns=2)   # seed 0: forced round
+        assert report["forced_deadlock"]
+        assert report["deadlocks_detected"] >= 1
+        assert report["violations"] == []
+
+    def test_random_seed_is_clean_and_reproducible(self):
+        first = run_one(5, scripts=3, txns=3)
+        second = run_one(5, scripts=3, txns=3)
+        assert first["violations"] == []
+        assert first == second

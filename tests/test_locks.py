@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.concurrency.locks import (
@@ -10,12 +12,17 @@ from repro.concurrency.locks import (
     record_resource,
     table_resource,
 )
-from repro.errors import LockConflictError
+from repro.errors import ConcurrencyError, DeadlockError, LockConflictError
 
 
 @pytest.fixture
 def locks():
     return LockManager()
+
+
+@pytest.fixture
+def blocking():
+    return LockManager(blocking=True, wait_timeout_s=10.0)
 
 
 class TestCompatibility:
@@ -101,3 +108,223 @@ class TestRelease:
         assert locks.total_locks() == 4  # 2 IS + 2 S
         locks.release_all(1)
         assert locks.total_locks() == 2
+
+
+class TestConflictErrorPayload:
+    def test_error_carries_full_waits_for_edge(self, locks):
+        locks.lock_record_shared(1, 1, b"k")
+        locks.lock_record_shared(2, 1, b"k")
+        with pytest.raises(LockConflictError) as err:
+            locks.lock_record_exclusive(3, 1, b"k")
+        e = err.value
+        assert e.waiter_tid == 3
+        assert set(e.holder_tids) == {1, 2}
+        assert set(e.holder_modes) == {LockMode.S}
+        assert e.resource == record_resource(1, b"k")
+        assert e.requested_mode == LockMode.X
+        assert e.holder_tid in (1, 2)   # legacy field still populated
+
+
+def _in_thread(fn):
+    thread = threading.Thread(target=fn, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestBlockingMode:
+    def test_waiter_parks_until_release(self, blocking):
+        blocking.lock_record_exclusive(1, 1, b"k")
+        acquired = threading.Event()
+
+        def waiter():
+            blocking.lock_record_exclusive(2, 1, b"k")
+            acquired.set()
+
+        thread = _in_thread(waiter)
+        assert not acquired.wait(0.05)         # genuinely parked
+        assert blocking.waiting_tids() == [2]
+        blocking.release_all(1)
+        assert acquired.wait(5.0)
+        thread.join(5.0)
+        assert blocking.mode_held(2, record_resource(1, b"k")) == LockMode.X
+        assert blocking.stats.lock_waits == 1
+        assert blocking.stats.lock_wait_ns > 0
+
+    def test_fifo_handoff_order(self, blocking):
+        blocking.lock_record_exclusive(1, 1, b"k")
+        order: list[int] = []
+        mu = threading.Lock()
+
+        def waiter(tid):
+            def run():
+                blocking.lock_record_exclusive(tid, 1, b"k")
+                with mu:
+                    order.append(tid)
+                blocking.release_all(tid)
+            return run
+
+        t2 = _in_thread(waiter(2))
+        while blocking.waiting_tids() != [2]:
+            pass
+        t3 = _in_thread(waiter(3))
+        while blocking.waiting_tids() != [2, 3]:
+            pass
+        blocking.release_all(1)
+        t2.join(5.0)
+        t3.join(5.0)
+        assert order == [2, 3]   # grant order == request order
+
+    def test_compatible_waiter_barges_past_blocked_stranger(self, blocking):
+        """An IS request behind a blocked IX waiter must not inherit its
+        wait (it conflicts with neither the holder nor the IX)."""
+        blocking.acquire(1, table_resource(1), LockMode.S)
+        parked = threading.Event()
+
+        def ix_waiter():
+            parked.set()
+            blocking.acquire(2, table_resource(1), LockMode.IX)
+            blocking.release_all(2)
+
+        thread = _in_thread(ix_waiter)
+        parked.wait(5.0)
+        while blocking.waiting_tids() != [2]:
+            pass
+        blocking.acquire(3, table_resource(1), LockMode.IS)   # no park
+        assert blocking.mode_held(3, table_resource(1)) == LockMode.IS
+        blocking.release_all(1)
+        blocking.release_all(3)
+        thread.join(5.0)
+
+    def test_two_txn_deadlock_detected_and_victim_aborted(self, blocking):
+        blocking.lock_record_exclusive(1, 1, b"a")
+        blocking.lock_record_exclusive(2, 1, b"b")
+        victim_err: list[DeadlockError] = []
+        survivor_done = threading.Event()
+
+        def t1():
+            blocking.lock_record_exclusive(1, 1, b"b")   # waits for 2
+            survivor_done.set()
+
+        thread1 = _in_thread(t1)
+        while blocking.waiting_tids() != [1]:
+            pass
+        with pytest.raises(DeadlockError) as err:
+            blocking.lock_record_exclusive(2, 1, b"a")   # closes the cycle
+        victim_err.append(err.value)
+        blocking.release_all(2)                          # victim aborts
+        assert survivor_done.wait(5.0)
+        thread1.join(5.0)
+        e = victim_err[0]
+        assert e.victim_tid == 2                         # youngest by default
+        assert set(e.cycle) == {1, 2}
+        assert blocking.stats.deadlocks_detected == 1
+
+    def test_victim_policy_is_pluggable_and_deterministic(self):
+        """With victim_policy=min the OLDEST transaction dies instead."""
+        locks = LockManager(
+            blocking=True, wait_timeout_s=10.0, victim_policy=min
+        )
+        locks.lock_record_exclusive(1, 1, b"a")
+        locks.lock_record_exclusive(2, 1, b"b")
+        doomed = []
+        done = threading.Event()
+
+        def t1():
+            try:
+                locks.lock_record_exclusive(1, 1, b"b")
+            except DeadlockError as exc:
+                doomed.append(exc)
+                locks.release_all(1)
+            done.set()
+
+        thread = _in_thread(t1)
+        while locks.waiting_tids() != [1]:
+            pass
+        locks.lock_record_exclusive(2, 1, b"a")   # detector; survivor
+        assert done.wait(5.0)
+        thread.join(5.0)
+        assert len(doomed) == 1
+        assert doomed[0].victim_tid == 1
+        assert locks.mode_held(2, record_resource(1, b"a")) == LockMode.X
+
+    def test_crossing_upgrades_deadlock_not_livelock(self, blocking):
+        """Two S holders both requesting X is a classic upgrade deadlock."""
+        blocking.lock_record_shared(1, 1, b"k")
+        blocking.lock_record_shared(2, 1, b"k")
+        outcome: dict[int, str] = {}
+        mu = threading.Lock()
+
+        def upgrader(tid):
+            def run():
+                try:
+                    blocking.lock_record_exclusive(tid, 1, b"k")
+                    with mu:
+                        outcome[tid] = "upgraded"
+                except DeadlockError:
+                    with mu:
+                        outcome[tid] = "victim"
+                    blocking.release_all(tid)
+            return run
+
+        t1 = _in_thread(upgrader(1))
+        while blocking.waiting_tids() != [1]:
+            pass
+        t2 = _in_thread(upgrader(2))
+        t1.join(5.0)
+        t2.join(5.0)
+        assert sorted(outcome.values()) == ["upgraded", "victim"]
+        assert outcome[2] == "victim"   # youngest
+        assert blocking.mode_held(1, record_resource(1, b"k")) == LockMode.X
+
+    def test_one_thread_per_transaction_enforced(self, blocking):
+        blocking.lock_record_exclusive(1, 1, b"a")
+        blocking.lock_record_exclusive(1, 1, b"b")
+        parked = threading.Event()
+
+        def waiter():
+            parked.set()
+            try:
+                blocking.lock_record_exclusive(2, 1, b"a")
+            except ConcurrencyError:
+                pass
+            finally:
+                blocking.release_all(2)
+
+        thread = _in_thread(waiter)
+        parked.wait(5.0)
+        while blocking.waiting_tids() != [2]:
+            pass
+        with pytest.raises(ConcurrencyError, match="already waiting"):
+            blocking.acquire(2, record_resource(1, b"b"), LockMode.X)
+        blocking.release_all(1)
+        thread.join(5.0)
+
+    def test_victim_choice_stable_across_repeats(self):
+        """The same cycle picks the same victim every time (seeded retry
+        schedules depend on it)."""
+        for _ in range(5):
+            locks = LockManager(blocking=True, wait_timeout_s=10.0)
+            locks.lock_record_exclusive(7, 1, b"a")
+            locks.lock_record_exclusive(9, 1, b"b")
+            victims = []
+            done = threading.Event()
+
+            def t7():
+                try:
+                    locks.lock_record_exclusive(7, 1, b"b")
+                except DeadlockError as exc:
+                    victims.append(exc.victim_tid)
+                    locks.release_all(7)
+                done.set()
+
+            thread = _in_thread(t7)
+            while locks.waiting_tids() != [7]:
+                pass
+            try:
+                locks.lock_record_exclusive(9, 1, b"a")
+            except DeadlockError as exc:
+                victims.append(exc.victim_tid)
+                locks.release_all(9)
+            done.wait(5.0)
+            thread.join(5.0)
+            assert victims == [9]   # always the youngest, never a race

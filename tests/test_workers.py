@@ -1,0 +1,239 @@
+"""Tests for the concurrent worker pool and OCC commit mode."""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro import ColumnType, ImmortalDB
+from repro.concurrency.transaction import TxnMode
+from repro.core.integrity import verify_integrity
+from repro.errors import OCCValidationError
+from repro.workers import WorkerPool
+
+COLS = [("k", ColumnType.INT), ("v", ColumnType.INT)]
+
+STRESS = os.environ.get("IMMORTAL_CONCURRENT_STRESS") == "1"
+
+
+def _make_db(**kwargs) -> tuple[ImmortalDB, object]:
+    db = ImmortalDB(buffer_pages=128, **kwargs)
+    table = db.create_table("t", COLS, key="k", immortal=True)
+    with db.transaction() as txn:
+        for k in range(16):
+            table.insert(txn, {"k": k, "v": 0})
+    db.flush_commits()
+    return db, table
+
+
+def _increment(table, key):
+    def body(txn):
+        row = table.read(txn, key)
+        table.update(txn, key, {"v": row["v"] + 1})
+        return row["v"] + 1
+    return body
+
+
+class TestWorkerPool:
+    def test_single_task_commits_durably(self):
+        db, table = _make_db()
+        with WorkerPool(db, n_workers=2) as pool:
+            future = pool.submit(_increment(table, 0))
+            assert future.result(10.0) == 1
+            assert future.wait_durable(10.0)
+            assert future.commit_ts is not None
+        with db.transaction() as txn:
+            assert table.read(txn, 0)["v"] == 1
+
+    def test_read_only_future_has_no_timestamp(self):
+        db, table = _make_db()
+        with WorkerPool(db, n_workers=2) as pool:
+            future = pool.submit(lambda txn: table.read(txn, 3)["v"])
+            assert future.result(10.0) == 0
+            assert future.commit_ts is None
+            assert future.durable
+
+    def test_conflicting_increments_are_not_lost(self):
+        db, table = _make_db()
+        n = 40
+        with WorkerPool(db, n_workers=4, seed=1) as pool:
+            futures = [pool.submit(_increment(table, 7)) for _ in range(n)]
+            values = sorted(f.result(30.0) for f in futures)
+        assert values == list(range(1, n + 1))   # every increment landed
+        with db.transaction() as txn:
+            assert table.read(txn, 7)["v"] == n
+        assert verify_integrity(db) == []
+
+    def test_task_error_fails_future_and_aborts(self):
+        db, table = _make_db()
+
+        def boom(txn):
+            table.update(txn, 1, {"v": 99})
+            raise ValueError("scripted failure")
+
+        with WorkerPool(db, n_workers=2) as pool:
+            future = pool.submit(boom)
+            with pytest.raises(ValueError, match="scripted failure"):
+                future.result(10.0)
+        with db.transaction() as txn:
+            assert table.read(txn, 1)["v"] == 0   # rolled back
+        assert len(db.txn_mgr.active) == 0
+
+    def test_group_commit_batches_forces(self):
+        db, table = _make_db(group_commit_window=8)
+        n = 31
+        gate = threading.Event()
+        before = db.stats()["log_forces"]
+        with WorkerPool(db, n_workers=4, seed=2) as pool:
+            # A read-only task parks on the gate, keeping in_flight > 0 so
+            # the last-active-worker durability flush never triggers while
+            # the increments run — forces can only come from full windows.
+            gate_future = pool.submit(lambda txn: gate.wait(30.0))
+            futures = [
+                pool.submit(_increment(table, i % 4)) for i in range(n)
+            ]
+            for f in futures:
+                f.result(30.0)
+            gate.set()
+            gate_future.result(30.0)
+            pool.join()
+            for f in futures:
+                assert f.wait_durable(10.0)
+        forces = db.stats()["log_forces"] - before
+        assert forces <= n // 8 + 2       # whole windows, not per-commit
+        assert db.txn_mgr.unacked_commits == 0
+
+    def test_retry_counters_reported_in_stats(self):
+        db, table = _make_db()
+        with WorkerPool(db, n_workers=4, seed=3) as pool:
+            futures = [pool.submit(_increment(table, 0)) for _ in range(24)]
+            for f in futures:
+                f.result(30.0)
+        stats = db.stats()
+        # Deterministic-counter contract: keys exist and are consistent.
+        assert stats["txn_retries"] == db.txn_mgr.txn_retries
+        assert stats["lock_waits"] >= 0
+        assert stats["deadlocks_detected"] >= 0
+
+    def test_submit_after_close_rejected(self):
+        db, table = _make_db()
+        pool = WorkerPool(db, n_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(_increment(table, 0))
+
+
+class TestOCCMode:
+    def test_serializable_begin_becomes_occ_snapshot(self):
+        db, _ = _make_db(cc_mode="occ")
+        txn = db.begin()
+        assert txn.occ
+        assert txn.mode is TxnMode.SNAPSHOT
+        db.commit(txn)
+
+    def test_stale_read_fails_validation(self):
+        db, table = _make_db(cc_mode="occ")
+        db.enable_concurrency()
+        reader = db.begin()
+        row = table.read(reader, 5)          # records (t, 5) in read_keys
+        assert (table.table_id, table.codec.encode_key(5)) in reader.read_keys
+        with db.transaction() as writer:     # commits after reader's snapshot
+            table.update(writer, 5, {"v": 42})
+        table.update(reader, 6, {"v": row["v"] + 1})   # make it a writer
+        with pytest.raises(OCCValidationError):
+            db.commit(reader)
+        db.abort(reader)
+        assert db.stats()["occ_validation_failures"] == 1
+
+    def test_disjoint_read_sets_validate_clean(self):
+        db, table = _make_db(cc_mode="occ")
+        db.enable_concurrency()
+        reader = db.begin()
+        table.read(reader, 1)
+        with db.transaction() as writer:
+            table.update(writer, 9, {"v": 1})     # different key
+        table.update(reader, 2, {"v": 5})
+        assert db.commit(reader) is not None      # validates fine
+        assert db.stats()["occ_validation_failures"] == 0
+
+    def test_read_only_occ_commit_skips_validation(self):
+        db, table = _make_db(cc_mode="occ")
+        db.enable_concurrency()
+        reader = db.begin()
+        table.read(reader, 5)
+        with db.transaction() as writer:
+            table.update(writer, 5, {"v": 42})
+        assert db.commit(reader) is None   # snapshot reads stay consistent
+
+    def test_occ_pool_counter_is_exact(self):
+        db, table = _make_db(cc_mode="occ")
+        n = 30
+        with WorkerPool(db, n_workers=4, seed=4) as pool:
+            futures = [pool.submit(_increment(table, 2)) for _ in range(n)]
+            values = sorted(f.result(30.0) for f in futures)
+        assert values == list(range(1, n + 1))
+        with db.transaction() as txn:
+            assert table.read(txn, 2)["v"] == n
+        assert verify_integrity(db) == []
+
+
+class TestConcurrentOracle:
+    """Concurrent history must answer AS OF queries like a serial one."""
+
+    def _run(self, *, workers, tasks, seed, **db_kwargs):
+        db, table = _make_db(**db_kwargs)
+        commits: list[tuple] = []
+        mu = threading.Lock()
+
+        def rmw(key):
+            def body(txn):
+                row = table.read(txn, key)
+                value = row["v"] + 1
+                table.update(txn, key, {"v": value})
+                return (key, value)
+            return body
+
+        rng = random.Random(seed)
+        with WorkerPool(db, n_workers=workers, seed=seed) as pool:
+            futures = [
+                pool.submit(rmw(rng.randrange(8))) for _ in range(tasks)
+            ]
+            for f in futures:
+                key, value = f.result(60.0)
+                with mu:
+                    commits.append((f.commit_ts, key, value))
+        db.flush_commits()
+
+        # Shadow oracle: replay commits in timestamp order.
+        commits.sort(key=lambda c: c[0])
+        timestamps = [c[0] for c in commits]
+        assert len(set(timestamps)) == len(timestamps)
+        state = {k: 0 for k in range(16)}
+        for ts, key, value in commits:
+            state[key] = value
+            for k in range(8):
+                row = table.read_as_of(ts, k)
+                assert row["v"] == state[k], (ts, k)
+        assert verify_integrity(db) == []
+        return db
+
+    def test_asof_equivalence_small(self):
+        self._run(workers=4, tasks=24, seed=11)
+
+    def test_asof_equivalence_group_commit(self):
+        self._run(workers=4, tasks=24, seed=12, group_commit_window=4)
+
+    @pytest.mark.skipif(not STRESS, reason="set IMMORTAL_CONCURRENT_STRESS=1")
+    def test_stress_many_workers_many_txns(self):
+        db = self._run(
+            workers=8, tasks=400, seed=13, group_commit_window=8
+        )
+        stats = db.stats()
+        assert stats["commits"] >= 400
+
+    @pytest.mark.skipif(not STRESS, reason="set IMMORTAL_CONCURRENT_STRESS=1")
+    def test_stress_occ_mode(self):
+        self._run(workers=8, tasks=200, seed=14, cc_mode="occ")
