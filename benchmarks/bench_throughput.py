@@ -284,6 +284,20 @@ def run_workloads(*, quick: bool, group_commit_window: int) -> dict:
         )
         db.close()
 
+    # These are the *in-memory* baselines: every workload is sized to fit
+    # its buffer pool, and the numbers mean nothing if that silently stops
+    # being true (eviction pressure belongs to bench_scale.py).  Fail loud
+    # rather than letting the two baselines drift into each other.
+    for name, r in results.items():
+        evictions = r["counters"].get("buffer_evictions", 0)
+        if evictions:
+            raise AssertionError(
+                f"workload {name!r} evicted {evictions} pages: "
+                "bench_throughput must stay in-memory — grow buffer_pages "
+                "or shrink the workload (see bench_scale.py for "
+                "under-pressure numbers)"
+            )
+
     return results
 
 

@@ -309,7 +309,7 @@ class BTree:
         """Apply a logged insert to its leaf (sets page LSN, marks dirty)."""
         leaf.insert_version(record)
         leaf.lsn = lsn
-        self.buffer.mark_dirty(leaf.page_id, lsn)
+        self.buffer.mark_dirty_page(leaf, lsn)
 
     # -- top-down splitting of index nodes -----------------------------------------
 
@@ -582,6 +582,9 @@ class BTree:
             )
         )
         assert assigned == lsn
+        # mark_dirty_page, not mark_dirty: the admissions this SMO performed
+        # (new siblings, history pages) may have evicted one of its own
+        # unpinned pages already — re-admit the mutated object in that case.
         for page in unique:
-            self.buffer.mark_dirty(page.page_id, lsn)
+            self.buffer.mark_dirty_page(page, lsn)
         return lsn

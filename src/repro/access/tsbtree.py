@@ -295,7 +295,7 @@ class TSBHistoryIndex:
                 continue  # structure was fixed; restart the descent
             node = outcome
             node.entries.append(entry)
-            self.buffer.mark_dirty(node.page_id)
+            self.buffer.mark_dirty_page(node)
             if node not in modified:
                 modified.append(node)
             return modified
@@ -346,8 +346,8 @@ class TSBHistoryIndex:
         )
         new_root.entries = [TSBEntry(moved.rect, moved.page_id, False)]
         self.buffer.replace_page(new_root)
-        self.buffer.mark_dirty(moved.page_id)
-        self.buffer.mark_dirty(new_root.page_id)
+        self.buffer.mark_dirty_page(moved)
+        self.buffer.mark_dirty_page(new_root)
         for page in (new_root, moved):
             if page not in modified:
                 modified.append(page)
@@ -414,9 +414,9 @@ class TSBHistoryIndex:
                 parent.entries[i] = TSBEntry(low_rect, node.page_id, False)
                 break
         parent.entries.append(TSBEntry(high_rect, sibling.page_id, False))
-        self.buffer.mark_dirty(node.page_id)
-        self.buffer.mark_dirty(sibling.page_id)
-        self.buffer.mark_dirty(parent.page_id)
+        self.buffer.mark_dirty_page(node)
+        self.buffer.mark_dirty_page(sibling)
+        self.buffer.mark_dirty_page(parent)
         for page in (node, sibling, parent):
             if page not in modified:
                 modified.append(page)

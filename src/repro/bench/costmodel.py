@@ -64,6 +64,16 @@ class CostModel:
     deadlock_ms: float = 0.0           # one detected cycle + victim abort
     txn_retry_ms: float = 0.0          # one worker-pool retry round-trip
     occ_validation_ms: float = 0.0     # one commit-time validation rejection
+    # Eviction/flush-scheduling counters (PR 6).  Zero-priced by default —
+    # the figure workloads fit in the pool, so these are all zero there and
+    # the fig5/fig6 results stay byte-identical — but non-zero rates let the
+    # scale benchmark price dirty-victim write-backs, per-batch scheduling
+    # overhead, the coalescing credit (negative rates model saved seeks),
+    # and the pinned-frame scan work of a thrashing pool.
+    dirty_eviction_ms: float = 0.0     # write-back forced by an eviction
+    flush_batch_ms: float = 0.0        # assemble + dispatch one write batch
+    coalesced_write_ms: float = 0.0    # one batch write adjacent to previous
+    evict_scan_skip_ms: float = 0.0    # step over one pinned/latched frame
 
     def simulated_ms(self, delta: dict) -> float:
         """Price a stats delta (see :meth:`ImmortalDB.stats`)."""
@@ -116,6 +126,10 @@ class CostModel:
             + delta.get("deadlocks_detected", 0) * self.deadlock_ms
             + delta.get("txn_retries", 0) * self.txn_retry_ms
             + delta.get("occ_validation_failures", 0) * self.occ_validation_ms
+            + delta.get("buffer_dirty_evictions", 0) * self.dirty_eviction_ms
+            + delta.get("flush_batches", 0) * self.flush_batch_ms
+            + delta.get("flush_coalesced_writes", 0) * self.coalesced_write_ms
+            + delta.get("evict_scan_skips", 0) * self.evict_scan_skip_ms
         )
 
 

@@ -73,6 +73,9 @@ class ImmortalDB:
         cc_mode: str = "2pl",
         concurrent: bool = False,
         log_force_latency_ms: float = 0.0,
+        eviction: str = "lru",
+        flush_batch: int = 0,
+        read_ahead: int = 0,
     ) -> None:
         if timestamping not in ("lazy", "eager"):
             raise ValueError("timestamping must be 'lazy' or 'eager'")
@@ -91,7 +94,16 @@ class ImmortalDB:
         self.log: LogManager = (
             FileLogManager(str(path) + ".log") if path else LogManager()
         )
-        self.buffer = BufferPool(self.disk, buffer_pages)
+        # Buffer-pool tuning knobs (see DESIGN.md "Buffer management"):
+        # ``eviction`` picks the victim-selection policy, ``flush_batch``
+        # groups dirty write-backs under one WAL force, ``read_ahead``
+        # prefetches past sequential misses.  The defaults keep the seed
+        # LRU/per-page/no-prefetch behaviour byte-identical.
+        self.buffer = BufferPool(
+            self.disk, buffer_pages,
+            eviction=eviction, flush_batch=flush_batch,
+            read_ahead=read_ahead,
+        )
         self.buffer.log_force = self.log.force
         self.timestamping = timestamping
         self.use_tsb_index = use_tsb_index
@@ -588,6 +600,14 @@ class ImmortalDB:
             "buffer_misses": buf.misses,
             "buffer_evictions": buf.evictions,
             "page_flushes": buf.page_flushes,
+            # Eviction/flush-scheduling detail (all zero with the defaults:
+            # LRU never skips in single-threaded runs, batching is off).
+            "buffer_dirty_evictions": buf.dirty_evictions,
+            "flush_batches": buf.flush_batches,
+            "flush_coalesced_writes": buf.flush_coalesced_writes,
+            "evict_scan_skips": buf.evict_scan_skips,
+            "buffer_prefetches": buf.prefetches,
+            "buffer_prefetch_hits": buf.prefetch_hits,
             "version_ops": self.version_ops,
             "stamps": ts.stamps,
             "vtt_hits": ts.vtt_hits,

@@ -105,7 +105,7 @@ class Table:
                 if self.engine.tsmgr.stamp_version(version):
                     stamped += 1
         if stamped:
-            self.engine.buffer.mark_dirty(leaf.page_id)
+            self.engine.buffer.mark_dirty_page(leaf)
         return stamped
 
     def _horizon(self, txn: Transaction) -> tuple[Timestamp | None, bool]:
@@ -299,7 +299,7 @@ class Table:
                 )
                 leaf.replace_payload_in_place(key, after)
                 leaf.lsn = lsn
-                self.engine.buffer.mark_dirty(leaf.page_id, lsn)
+                self.engine.buffer.mark_dirty_page(leaf, lsn)
                 self.engine.version_ops += 1  # an in-place write is the same
                 # page work as a version write; the cost model prices both.
                 txn.writes.add((self.table_id, key))

@@ -41,6 +41,29 @@ class BufferPoolError(StorageError):
     """Buffer-pool protocol violation (e.g. evicting a pinned page)."""
 
 
+class BufferExhaustedError(BufferPoolError):
+    """Eviction found no victim: every frame is pinned or latched.
+
+    Raised instead of stalling when an admission cannot make room — a pool
+    sized below the working set of a single operation is a configuration
+    error the caller must see, not spin on.  Carries the pool capacity and
+    a per-cause breakdown of why each frame was unevictable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        capacity: int | None = None,
+        pinned: int = 0,
+        latched: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.capacity = capacity
+        self.pinned = pinned
+        self.latched = latched
+
+
 class LatchError(StorageError):
     """Incompatible latch request on a page frame."""
 

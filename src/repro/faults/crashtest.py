@@ -68,6 +68,12 @@ class CrashTestConfig:
     value_pad: int = 700
     group_commit_window: int = 1
     route_cache: bool = False
+    # Buffer-management knobs under test since PR 6: a non-default eviction
+    # policy changes *which* page is mid-flight when the crash lands, and
+    # flush_batch > 1 routes write-backs through the batched path, putting
+    # crossings between a batch's single log force and each page write.
+    eviction: str = "lru"
+    flush_batch: int = 0
     # Media-fault mode: run on a FaultyDisk with checksums, write
     # verification, transient-IO retry and media recovery enabled; instead
     # of crashing at a crossing, inject a one-shot disk fault there and
@@ -87,6 +93,10 @@ class CrashTestConfig:
             parts.append(f"--group-commit {self.group_commit_window}")
         if self.route_cache:
             parts.append("--route-cache")
+        if self.eviction != CrashTestConfig.eviction:
+            parts.append(f"--eviction {self.eviction}")
+        if self.flush_batch != CrashTestConfig.flush_batch:
+            parts.append(f"--flush-batch {self.flush_batch}")
         parts.append(f"--crash-point {crossing}")
         return " ".join(parts)
 
@@ -179,12 +189,16 @@ def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
             page_checksums=True,
             media_recovery=True,
             io_retries=3,
+            eviction=config.eviction,
+            flush_batch=config.flush_batch,
         )
     else:
         db = ImmortalDB(
             buffer_pages=config.buffer_pages,
             group_commit_window=config.group_commit_window,
             asof_route_cache=config.route_cache,
+            eviction=config.eviction,
+            flush_batch=config.flush_batch,
         )
     table = db.create_table(
         TABLE,
@@ -529,6 +543,15 @@ def main(argv: list[str] | None = None) -> int:
         help="enable the as-of route cache and probe marks mid-workload",
     )
     parser.add_argument(
+        "--eviction", choices=("lru", "2q", "clock"),
+        default=CrashTestConfig.eviction,
+        help="buffer eviction policy for the workload database",
+    )
+    parser.add_argument(
+        "--flush-batch", type=int, default=CrashTestConfig.flush_batch,
+        metavar="N", help="batched write-back size (0 = per-page flushes)",
+    )
+    parser.add_argument(
         "--media-faults", action="store_true",
         help="inject disk faults instead of crashing; verify self-healing "
              "(inline absorption + byte-identical scrubber repair)",
@@ -546,6 +569,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed, transactions=args.transactions, keys=args.keys,
         group_commit_window=args.group_commit,
         route_cache=args.route_cache,
+        eviction=args.eviction,
+        flush_batch=args.flush_batch,
         media_faults=args.media_faults,
     )
     replay = replay_media_point if config.media_faults else replay_crash_point

@@ -14,6 +14,31 @@ Latching is bookkeeping rather than blocking — the simulation is
 single-threaded — but conflicting acquisitions raise :exc:`LatchError`, so
 tests can assert the engine follows the paper's latch discipline (exclusive
 latch to stamp a record, shared latch for a plain read of a stamped one).
+
+Eviction is pluggable (``eviction="lru" | "2q" | "clock"``):
+
+* ``lru`` — the seed policy, byte-identical to the original single-list
+  implementation (it operates directly on the pool's recency-ordered frame
+  table, including the rotate-pinned-frames-to-the-hot-end scan).
+* ``2q`` — Johnson & Shasha's 2Q: first-touch pages enter a FIFO probation
+  queue (A1in) and are evicted from it unless re-referenced *after* falling
+  into the ghost list (A1out); only re-referenced pages enter the protected
+  LRU (Am).  A long history scan therefore washes through A1in without
+  displacing the hot current-page working set — the access pattern the
+  paper's time-split storage produces.
+* ``clock`` — second-chance: a reference bit per frame, cleared as the hand
+  sweeps; O(1) metadata per access instead of list reordering.
+
+Write-back is optionally batched (``flush_batch=N``): an eviction of a
+dirty page gathers up to ``N-1`` additional cold dirty pages, runs the
+pre-flush hooks for the whole batch, forces the log **once** to the batch's
+maximum page LSN (amortizing the fsync the WAL rule otherwise costs every
+dirty eviction), and writes the pages in page-id order so adjacent ids
+reach the disk sequentially.  ``flush_all`` (checkpoints) batches the same
+way.  The WAL rule is preserved — the single force covers every page in
+the batch — and lazy timestamping is unchanged: stamping consults
+``log.flushed_lsn`` *before* the force, so it is exactly as conservative
+as the per-page path.
 """
 
 from __future__ import annotations
@@ -26,6 +51,7 @@ from typing import Callable, Iterator
 _NO_MUTEX = nullcontext()
 
 from repro.errors import (
+    BufferExhaustedError,
     BufferPoolError,
     LatchError,
     StorageError,
@@ -43,10 +69,21 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     page_flushes: int = 0
+    dirty_evictions: int = 0        # evictions that had to write the victim
+    flush_batches: int = 0          # batched write-back groups issued
+    flush_coalesced_writes: int = 0  # batch writes adjacent to the previous id
+    evict_scan_skips: int = 0       # pinned/latched frames stepped over
+    prefetches: int = 0             # pages read ahead of an actual request
+    prefetch_hits: int = 0          # misses served from the staging ring
 
     def snapshot(self) -> "BufferStats":
         """An independent copy of the current counter values."""
-        return BufferStats(self.hits, self.misses, self.evictions, self.page_flushes)
+        return BufferStats(
+            self.hits, self.misses, self.evictions, self.page_flushes,
+            self.dirty_evictions, self.flush_batches,
+            self.flush_coalesced_writes, self.evict_scan_skips,
+            self.prefetches, self.prefetch_hits,
+        )
 
 
 @dataclass
@@ -61,20 +98,299 @@ class Frame:
     exclusive_latch: bool = False
 
 
+def _unevictable(frame: Frame) -> bool:
+    return bool(frame.pin_count or frame.exclusive_latch or frame.share_latches)
+
+
+# ---------------------------------------------------------------------------
+# Eviction policies
+# ---------------------------------------------------------------------------
+
+class EvictionPolicy:
+    """Victim selection strategy; notified of admissions/accesses/removals.
+
+    The pool owns the frame table (``pool._frames``); a policy owns only its
+    ordering metadata.  ``select_victim`` must return an evictable frame or
+    raise :exc:`BufferExhaustedError` — it must not return a pinned or
+    latched frame, and must terminate even when every frame is unevictable.
+    """
+
+    name = "base"
+
+    def __init__(self, pool: "BufferPool") -> None:
+        self.pool = pool
+
+    def on_admit(self, page_id: int) -> None:
+        raise NotImplementedError
+
+    def on_access(self, page_id: int) -> None:
+        raise NotImplementedError
+
+    def on_remove(self, page_id: int) -> None:
+        raise NotImplementedError
+
+    def select_victim(self) -> tuple[int, Frame]:
+        raise NotImplementedError
+
+    def iter_cold(self) -> Iterator[int]:
+        """Page ids, coldest first (flush-batch companion selection)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Forget everything (crash simulation)."""
+
+    def _exhausted(self) -> BufferExhaustedError:
+        frames = self.pool._frames
+        pinned = sum(1 for f in frames.values() if f.pin_count)
+        latched = sum(
+            1 for f in frames.values()
+            if f.exclusive_latch or f.share_latches
+        )
+        return BufferExhaustedError(
+            f"buffer pool exhausted: every frame is pinned or latched "
+            f"(capacity={self.pool.capacity}, pinned={pinned}, "
+            f"latched={latched})",
+            capacity=self.pool.capacity, pinned=pinned, latched=latched,
+        )
+
+
+class LRUPolicy(EvictionPolicy):
+    """The seed policy: single recency list, byte-identical behaviour.
+
+    Operates directly on the pool's OrderedDict so the recency order —
+    including the detail that ``mark_dirty`` counts as a touch and that the
+    eviction scan rotates pinned frames to the hot end — matches the
+    original single-list implementation exactly.
+    """
+
+    name = "lru"
+
+    def on_admit(self, page_id: int) -> None:
+        self.pool._frames.move_to_end(page_id)
+
+    def on_access(self, page_id: int) -> None:
+        self.pool._frames.move_to_end(page_id)
+
+    def on_remove(self, page_id: int) -> None:
+        pass
+
+    def select_victim(self) -> tuple[int, Frame]:
+        # Pop from the cold end of the LRU order; pinned/latched frames are
+        # rotated to the hot end (they are in active use) so the next attempt
+        # does not rescan them.
+        frames = self.pool._frames
+        for _ in range(len(frames)):
+            pid, frame = next(iter(frames.items()))
+            if _unevictable(frame):
+                frames.move_to_end(pid)
+                self.pool.stats.evict_scan_skips += 1
+                continue
+            return pid, frame
+        raise self._exhausted()
+
+    def iter_cold(self) -> Iterator[int]:
+        yield from list(self.pool._frames)
+
+
+class TwoQPolicy(EvictionPolicy):
+    """2Q (Johnson & Shasha, VLDB '94), full version.
+
+    * ``A1in`` — FIFO probation queue for first-touch pages (target size
+      ``kin`` = capacity/8: probation churn is cheap, and a small A1in
+      leaves the protected queue room for a hot set approaching pool
+      size).  Re-accessing a page *while it is in A1in* does not promote
+      it: a sequential scan touches each page once more during
+      processing, and promoting on that touch would let scans poison the
+      protected queue (the flaw 2Q exists to fix).
+    * ``A1out`` — ghost list of recently evicted probation pages (ids
+      only, no frames; target ``kout`` = capacity/2, the paper's 50%).
+      A page faulting in while ghosted has shown re-use *beyond* scan
+      distance → admit straight to Am.  The window is deliberately
+      narrow: a *periodic* scan (a monitoring sweep that repeats every
+      few hundred operations) must find its ghosts already aged out, or
+      the second sweep would promote the whole sweep into Am and evict
+      the genuinely hot set.
+    * ``Am`` — protected LRU of proven-hot pages.
+    """
+
+    name = "2q"
+
+    def __init__(self, pool: "BufferPool") -> None:
+        super().__init__(pool)
+        self.kin = max(1, pool.capacity // 8)
+        self.kout = max(2, pool.capacity // 2)
+        self.a1in: OrderedDict[int, None] = OrderedDict()
+        self.a1out: OrderedDict[int, None] = OrderedDict()
+        self.am: OrderedDict[int, None] = OrderedDict()
+
+    def on_admit(self, page_id: int) -> None:
+        if page_id in self.a1out:
+            del self.a1out[page_id]
+            self.am[page_id] = None
+        else:
+            self.a1in[page_id] = None
+
+    def on_access(self, page_id: int) -> None:
+        if page_id in self.am:
+            self.am.move_to_end(page_id)
+        # A page in A1in is deliberately NOT promoted on re-access.
+
+    def on_remove(self, page_id: int) -> None:
+        self.a1in.pop(page_id, None)
+        self.am.pop(page_id, None)
+
+    def _ghost(self, page_id: int) -> None:
+        self.a1out[page_id] = None
+        while len(self.a1out) > self.kout:
+            self.a1out.popitem(last=False)
+
+    def select_victim(self) -> tuple[int, Frame]:
+        frames = self.pool._frames
+        # Prefer the probation queue while it exceeds its target share (or
+        # the protected queue has nothing to give); fall back to the other
+        # queue when every frame in the preferred one is pinned.
+        if len(self.a1in) > self.kin or not self.am:
+            order = ((self.a1in, True), (self.am, False))
+        else:
+            order = ((self.am, False), (self.a1in, True))
+        for queue, ghost in order:
+            for _ in range(len(queue)):
+                pid = next(iter(queue))
+                frame = frames.get(pid)
+                if frame is None:          # stale entry (defensive)
+                    del queue[pid]
+                    continue
+                if _unevictable(frame):
+                    queue.move_to_end(pid)
+                    self.pool.stats.evict_scan_skips += 1
+                    continue
+                if ghost:
+                    self._ghost(pid)
+                return pid, frame
+        raise self._exhausted()
+
+    def iter_cold(self) -> Iterator[int]:
+        yield from list(self.a1in)
+        yield from list(self.am)
+
+    def clear(self) -> None:
+        self.a1in.clear()
+        self.a1out.clear()
+        self.am.clear()
+
+
+class ClockPolicy(EvictionPolicy):
+    """Second-chance CLOCK: one reference bit per frame, a sweeping hand.
+
+    An access sets the frame's bit (O(1), no list surgery).  The hand
+    sweeps the ring: a set bit buys the frame one more lap (bit cleared,
+    frame passed over); a clear bit makes it the victim.  Pinned/latched
+    frames are skipped *without* clearing their bit; a full lap of nothing
+    but pinned frames raises :exc:`BufferExhaustedError` — the
+    ``pinned_streak`` counter resets whenever the hand does useful work
+    (clears a bit or finds a victim), so the sweep provably terminates.
+    """
+
+    name = "clock"
+
+    def __init__(self, pool: "BufferPool") -> None:
+        super().__init__(pool)
+        self.ring: OrderedDict[int, bool] = OrderedDict()  # pid -> ref bit
+
+    def on_admit(self, page_id: int) -> None:
+        self.ring[page_id] = True
+
+    def on_access(self, page_id: int) -> None:
+        if page_id in self.ring:
+            self.ring[page_id] = True
+
+    def on_remove(self, page_id: int) -> None:
+        self.ring.pop(page_id, None)
+
+    def select_victim(self) -> tuple[int, Frame]:
+        frames = self.pool._frames
+        pinned_streak = 0
+        while self.ring:
+            pid = next(iter(self.ring))
+            frame = frames.get(pid)
+            if frame is None:              # stale entry (defensive)
+                del self.ring[pid]
+                continue
+            if _unevictable(frame):
+                self.ring.move_to_end(pid)
+                self.pool.stats.evict_scan_skips += 1
+                pinned_streak += 1
+                if pinned_streak >= len(self.ring):
+                    raise self._exhausted()
+                continue
+            if self.ring[pid]:
+                self.ring[pid] = False     # second chance
+                self.ring.move_to_end(pid)
+                pinned_streak = 0
+                continue
+            return pid, frame
+        raise self._exhausted()
+
+    def iter_cold(self) -> Iterator[int]:
+        # Clear bits first (closer to the hand = colder).
+        ring = list(self.ring.items())
+        yield from (pid for pid, ref in ring if not ref)
+        yield from (pid for pid, ref in ring if ref)
+
+    def clear(self) -> None:
+        self.ring.clear()
+
+
+_POLICIES: dict[str, type[EvictionPolicy]] = {
+    "lru": LRUPolicy,
+    "2q": TwoQPolicy,
+    "clock": ClockPolicy,
+}
+
+
 class BufferPool:
-    """LRU page cache over a :class:`~repro.storage.disk.PageStore`."""
+    """Page cache over a :class:`~repro.storage.disk.PageStore`."""
 
     def __init__(
         self,
         disk: PageStore,
         capacity: int = 1024,
+        *,
+        eviction: str = "lru",
+        flush_batch: int = 0,
+        read_ahead: int = 0,
     ) -> None:
         if capacity < 4:
             raise ValueError("buffer pool needs at least 4 frames")
+        try:
+            policy_cls = _POLICIES[eviction]
+        except KeyError:
+            raise ValueError(
+                f"unknown eviction policy {eviction!r} "
+                f"(choose from {sorted(_POLICIES)})"
+            ) from None
+        if flush_batch < 0:
+            raise ValueError("flush_batch must be >= 0")
+        if read_ahead < 0:
+            raise ValueError("read_ahead must be >= 0")
         self.disk = disk
         self.capacity = capacity
+        self.flush_batch = flush_batch
+        self.read_ahead = read_ahead
+        # Read-ahead state.  ``_last_miss_pid`` is the high-water mark of
+        # the most recent forward miss run (advanced by prefetch reads);
+        # a miss landing a *small* gap ahead of it means a scan is walking
+        # allocation order — not necessarily id-by-id, since a versioned
+        # bulk load interleaves history pages between leaves, so the demand
+        # stream may stride over ids the scan never asks for.  The staging
+        # ring holds prefetched pages *outside* the frame table: admitting
+        # them directly would let a deep window wash its own head out of a
+        # small probation queue before the demand reads arrive.
+        self._last_miss_pid = -2
+        self._staged: OrderedDict[int, Page] = OrderedDict()
         self.stats = BufferStats()
         self._frames: OrderedDict[int, Frame] = OrderedDict()
+        self._policy: EvictionPolicy = policy_cls(self)
         # Hooks. pre_flush_hooks run on the in-memory page right before it is
         # serialized to disk; log_force is called with the page LSN (WAL rule).
         self.pre_flush_hooks: list[Callable[[Page], None]] = []
@@ -90,6 +406,10 @@ class BufferPool:
         # direct buffer calls (flushes, scrub probes) from other threads.
         self.mutex = None
 
+    @property
+    def eviction(self) -> str:
+        return self._policy.name
+
     # -- fetching ---------------------------------------------------------------
 
     def get_page(self, page_id: int) -> Page:
@@ -101,9 +421,15 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             self.stats.hits += 1
-            self._frames.move_to_end(page_id)
+            self._policy.on_access(page_id)
             return frame.page
         self.stats.misses += 1
+        staged = self._staged.pop(page_id, None)
+        if staged is not None:
+            # Served from the read-ahead staging ring: no disk read.
+            self.stats.prefetch_hits += 1
+            self._admit(Frame(staged))
+            return staged
         raw: bytes | None
         try:
             raw = self.disk.read_page(page_id)
@@ -139,8 +465,48 @@ class BufferPool:
             frame = self._frames.get(page_id)
             if frame is not None:
                 return frame.page
+            self._admit(Frame(page))
+            return page
+        gap = page_id - self._last_miss_pid
+        self._last_miss_pid = page_id
         self._admit(Frame(page))
+        if self.read_ahead > 0 and 0 < gap <= max(1, self.read_ahead // 4):
+            self._prefetch_from(page_id + 1)
         return page
+
+    def _prefetch_from(self, start_pid: int) -> None:
+        """Read the next ``read_ahead`` pages of the extent into the ring.
+
+        This is OS-style adaptive read-ahead: a single random miss never
+        triggers it, but a second miss a short forward gap after the first
+        does — the signature of a scan walking allocation order.  The
+        whole extent is read contiguously (the disk layer prices every
+        read after the first as a sequential transfer); pages the pool
+        already holds are skipped rather than used to end the window,
+        because breaking the id run would turn the remainder back into
+        seeks — exactly the extent-read behaviour of real prefetchers.
+        """
+        limit = min(start_pid + self.read_ahead, self.disk.page_count)
+        for pid in range(start_pid, limit):
+            if pid in self._frames:
+                continue
+            try:
+                page = decode_page(self.disk.read_page(pid))
+            except StorageError:
+                # Allocated-but-never-written (or damaged) page: stop this
+                # window — the failed read still advanced the disk head, so
+                # the next demand miss lands adjacent and re-triggers.  Only
+                # a demand request takes the repair path.
+                break
+            if page.page_id != pid:
+                break
+            self.stats.prefetches += 1
+            # The window extends the miss run: the first demand miss past
+            # it lands a short gap ahead and re-triggers immediately.
+            self._last_miss_pid = pid
+            self._staged[pid] = page
+        while len(self._staged) > 2 * self.read_ahead:
+            self._staged.popitem(last=False)
 
     def new_page(self, factory: Callable[[int], Page]) -> Page:
         """Allocate a fresh page id on disk and cache ``factory(page_id)``."""
@@ -191,7 +557,24 @@ class BufferPool:
                 frame.rec_lsn = (
                     rec_lsn if rec_lsn is not None else frame.page.lsn
                 )
-            self._frames.move_to_end(page_id)
+            self._policy.on_access(page_id)
+
+    def mark_dirty_page(self, page: Page, rec_lsn: int | None = None) -> None:
+        """``mark_dirty`` by page object, re-admitting it if eviction won.
+
+        Multi-page operations (B-tree splits, PTT node splits, eager commit
+        revisits) mutate several *unpinned* page objects before marking them
+        dirty; under a small pool, the admissions the operation itself
+        performs can evict one of its own pages in between.  The in-memory
+        object is the authority at that point — the operation has already
+        logged the new state — so it is re-admitted as-is rather than
+        letting ``mark_dirty`` raise (or worse, faulting the stale disk
+        image back in next to the orphaned object).
+        """
+        with self.mutex or _NO_MUTEX:
+            if page.page_id not in self._frames:
+                self.replace_page(page)
+            self.mark_dirty(page.page_id, rec_lsn)
 
     def is_dirty(self, page_id: int) -> bool:
         frame = self._frames.get(page_id)
@@ -215,8 +598,17 @@ class BufferPool:
         # earning its sequential-write credit (and, on real hardware, an
         # elevator-friendly write pattern).
         with self.mutex or _NO_MUTEX:
-            for pid in sorted(self._frames):
-                self.flush_page(pid)
+            if self.flush_batch > 1:
+                dirty = [
+                    self._frames[pid]
+                    for pid in sorted(self._frames)
+                    if self._frames[pid].dirty
+                ]
+                for i in range(0, len(dirty), self.flush_batch):
+                    self._write_batch(dirty[i:i + self.flush_batch])
+            else:
+                for pid in sorted(self._frames):
+                    self.flush_page(pid)
 
     def _write_back(self, frame: Frame) -> None:
         fire("buffer.flush.begin")
@@ -230,6 +622,61 @@ class BufferPool:
         frame.dirty = False
         frame.rec_lsn = 0
         self.stats.page_flushes += 1
+
+    def _write_batch(self, frames: list[Frame]) -> None:
+        """Write several dirty frames with ONE log force, in page-id order.
+
+        Crash-consistency argument: the hooks (lazy stamping) run first and
+        consult ``log.flushed_lsn`` *before* the force, so they stamp no
+        version whose commit record is still volatile — exactly as
+        conservative as the per-page path.  The single force to the batch's
+        maximum LSN then satisfies the WAL rule for every page in the
+        batch.  A crash between two page writes leaves a prefix of the
+        batch durable, which redo recovery already handles (the same state
+        a crash between two independent flushes leaves today).
+        """
+        if not frames:
+            return
+        fire("buffer.flushbatch.submit")
+        for frame in frames:
+            for hook in self.pre_flush_hooks:
+                hook(frame.page)
+        if self.log_force is not None:
+            self.log_force(max(frame.page.lsn for frame in frames))
+        self.stats.flush_batches += 1
+        last_pid: int | None = None
+        for frame in sorted(frames, key=lambda f: f.page.page_id):
+            fire("buffer.flushbatch.write")
+            pid = frame.page.page_id
+            self.disk.write_page(pid, frame.page.to_bytes())
+            if last_pid is not None and pid == last_pid + 1:
+                self.stats.flush_coalesced_writes += 1
+            last_pid = pid
+            frame.dirty = False
+            frame.rec_lsn = 0
+            self.stats.page_flushes += 1
+        fire("buffer.flushbatch.done")
+
+    def _flush_batch_for(self, victim: Frame) -> None:
+        """Evicting a dirty victim: piggyback cold dirty pages on its force.
+
+        The companions stay cached — they are merely clean afterwards, so
+        their own eviction (imminent, they are cold) costs no write and no
+        force.  This extends the PR-2 ``flush_all`` page-id ordering to the
+        eviction path.
+        """
+        batch = [victim]
+        victim_pid = victim.page.page_id
+        for pid in self._policy.iter_cold():
+            if len(batch) >= self.flush_batch:
+                break
+            if pid == victim_pid:
+                continue
+            frame = self._frames.get(pid)
+            if frame is None or not frame.dirty or frame.exclusive_latch:
+                continue
+            batch.append(frame)
+        self._write_batch(batch)
 
     # -- pinning / latching --------------------------------------------------------
 
@@ -268,6 +715,7 @@ class BufferPool:
     def discard_all(self) -> None:
         """Drop every cached page *without* flushing (simulates a crash)."""
         self._frames.clear()
+        self._policy.clear()
 
     # -- internals ----------------------------------------------------------------------
 
@@ -280,25 +728,26 @@ class BufferPool:
     def _admit(self, frame: Frame) -> None:
         while len(self._frames) >= self.capacity:
             self._evict_one()
-        self._frames[frame.page.page_id] = frame
-        self._frames.move_to_end(frame.page.page_id)
+        pid = frame.page.page_id
+        # Whatever image the ring staged for this id is now superseded: the
+        # admitted frame may be dirtied and evicted, and a later miss must
+        # re-read disk, not resurrect the speculative copy.
+        self._staged.pop(pid, None)
+        self._frames[pid] = frame
+        self._policy.on_admit(pid)
 
     def _evict_one(self) -> None:
-        # Pop from the cold end of the LRU order; pinned/latched frames are
-        # rotated to the hot end (they are in active use) so the next attempt
-        # does not rescan them.
-        for _ in range(len(self._frames)):
-            pid, frame = next(iter(self._frames.items()))
-            if frame.pin_count or frame.exclusive_latch or frame.share_latches:
-                self._frames.move_to_end(pid)
-                continue
-            fire("buffer.evict")
-            if frame.dirty:
+        pid, frame = self._policy.select_victim()
+        fire("buffer.evict")
+        if frame.dirty:
+            self.stats.dirty_evictions += 1
+            if self.flush_batch > 1:
+                self._flush_batch_for(frame)
+            else:
                 self._write_back(frame)
-            del self._frames[pid]
-            self.stats.evictions += 1
-            return
-        raise BufferPoolError("buffer pool exhausted: every frame is pinned")
+        del self._frames[pid]
+        self._policy.on_remove(pid)
+        self.stats.evictions += 1
 
     def cached_pages(self) -> Iterator[Page]:
         yield from (frame.page for frame in self._frames.values())

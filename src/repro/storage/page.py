@@ -37,7 +37,7 @@ from repro.storage.constants import (
     RecordFlag,
     SLOT_SIZE,
 )
-from repro.storage.record import RecordVersion
+from repro.storage.record import RecordVersion, decode_versions
 
 
 # page_id(4) type(1) flags(1) pad(2) lsn(8) CRC32-slot(4, stamped by disk)
@@ -139,6 +139,18 @@ def decode_page(raw: bytes) -> Page:
 # nslots(2) nversions(2) split_ts(8+4) end_ts(8+4) history(4) next_leaf(4)
 # table_id(4) — the data-page header extension after the common header.
 _DATA_EXT = struct.Struct(">HHQIQIIII")
+
+# Precompiled slot-array codecs, keyed by slot count: pages cluster around a
+# few fill levels, so ``struct.Struct(f">{n}H")`` compilation amortizes to
+# nothing instead of re-parsing the format string on every decode.
+_SLOT_CODECS: dict[int, struct.Struct] = {}
+
+
+def _slot_codec(nslots: int) -> struct.Struct:
+    codec = _SLOT_CODECS.get(nslots)
+    if codec is None:
+        codec = _SLOT_CODECS[nslots] = struct.Struct(f">{nslots}H")
+    return codec
 
 
 class DataPage(Page):
@@ -493,9 +505,7 @@ class DataPage(Page):
                 f"({offset} bytes of records, slot area at {slot_area})"
             )
         if self.slots:
-            struct.pack_into(
-                f">{len(self.slots)}H", buf, slot_area, *self.slots
-            )
+            _slot_codec(len(self.slots)).pack_into(buf, slot_area, *self.slots)
         return bytes(buf)
 
     @classmethod
@@ -518,26 +528,23 @@ class DataPage(Page):
         page.history_page_id = history_page_id
         page.next_leaf_id = next_leaf_id
         page.table_id = table_id
-        offset = DATA_HEADER_SIZE
-        for _ in range(nversions):
-            version, offset = RecordVersion.from_bytes(raw, offset)
-            page.versions.append(version)
+        versions, offset = decode_versions(raw, DATA_HEADER_SIZE, nversions)
+        page.versions = versions
         slot_area = len(raw) - SLOT_SIZE * nslots
-        heads = list(struct.unpack_from(f">{nslots}H", raw, slot_area))
+        heads = list(_slot_codec(nslots).unpack_from(raw, slot_area))
         for i, head_index in enumerate(heads):
             if head_index >= nversions:
                 raise PageFormatError(
                     f"page {page_id}: slot {i} points past version area"
                 )
         page.slots = heads
-        page._slot_keys = [page.versions[h].key for h in heads]
-        if page._slot_keys != sorted(page._slot_keys):
+        keys = [versions[h].key for h in heads]
+        page._slot_keys = keys
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
             raise PageFormatError(f"page {page_id}: slot array not key-ordered")
-        page._used = (
-            DATA_HEADER_SIZE
-            + sum(v.size_on_page for v in page.versions)
-            + SLOT_SIZE * nslots
-        )
+        # decode_versions walked exactly size_on_page bytes per record, so
+        # the final offset already totals the record area.
+        page._used = offset + SLOT_SIZE * nslots
         return page
 
 

@@ -165,22 +165,52 @@ class RecordVersion:
         return tail + _TAIL.size
 
     @classmethod
-    def from_bytes(cls, data: bytes, offset: int = 0) -> tuple["RecordVersion", int]:
+    def from_bytes(
+        cls, data: bytes | memoryview, offset: int = 0
+    ) -> tuple["RecordVersion", int]:
         """Decode one record image at ``offset``; return (record, next_offset)."""
-        try:
-            flags, key_len, payload_len = _HEAD.unpack_from(data, offset)
-            body = offset + _HEAD.size
-            key = bytes(data[body : body + key_len])
-            payload = bytes(data[body + key_len : body + key_len + payload_len])
-            tail = body + key_len + payload_len
-            vp, ttime_field, sn = _TAIL.unpack_from(data, tail)
-        except struct.error as exc:
-            raise PageFormatError("truncated record image") from exc
-        end = tail + _TAIL.size
-        if len(key) != key_len or len(payload) != payload_len or end > len(data):
-            raise PageFormatError("truncated record image")
-        record = cls(
-            key=key, payload=payload, flags=flags, vp=vp,
-            ttime_field=ttime_field, sn=sn,
-        )
-        return record, end
+        versions, end = decode_versions(data, offset, 1)
+        return versions[0], end
+
+
+def decode_versions(
+    data: bytes | memoryview, offset: int, count: int
+) -> tuple[list[RecordVersion], int]:
+    """Bulk-decode ``count`` consecutive record images starting at ``offset``.
+
+    This is the hot loop of every page reload, which eviction pressure turns
+    into a per-operation cost: one memoryview over the whole image (so the
+    head/tail field reads never copy), the precompiled codecs hoisted into
+    locals, and a single try/except around the loop instead of one per
+    record.  Exactly one ``bytes()`` copy is made per key and per payload —
+    those outlive the page image, so they must own their storage.
+
+    The explicit length checks are load-bearing, not redundant: slicing a
+    memoryview past its end *clamps* silently instead of raising, so
+    ``len(key) != key_len`` is the truncation detection for the variable-
+    length fields (the struct codecs still raise for the fixed fields).
+    """
+    view = memoryview(data)
+    versions: list[RecordVersion] = []
+    append = versions.append
+    head_unpack = _HEAD.unpack_from
+    tail_unpack = _TAIL.unpack_from
+    head_size = _HEAD.size
+    tail_size = _TAIL.size
+    make = RecordVersion
+    try:
+        for _ in range(count):
+            flags, key_len, payload_len = head_unpack(view, offset)
+            body = offset + head_size
+            split = body + key_len
+            tail = split + payload_len
+            key = bytes(view[body:split])
+            payload = bytes(view[split:tail])
+            if len(key) != key_len or len(payload) != payload_len:
+                raise PageFormatError("truncated record image")
+            vp, ttime_field, sn = tail_unpack(view, tail)
+            offset = tail + tail_size
+            append(make(key, payload, flags, vp, ttime_field, sn))
+    except struct.error as exc:
+        raise PageFormatError("truncated record image") from exc
+    return versions, offset

@@ -76,7 +76,7 @@ class EagerTimestampManager(TimestampManager):
             if page.page_id not in pages_touched:
                 pages_touched.add(page.page_id)
                 self.stats.commit_revisit_pages += 1
-            self.buffer.mark_dirty(page.page_id)
+            self.buffer.mark_dirty_page(page)
 
     def on_commit(
         self, tid: int, ts: Timestamp, commit_lsn: int, *, persistent: bool

@@ -255,7 +255,7 @@ class TimestampManager:
             # pre-flush path that skips mark_dirty.
             page.touch()
             if mark_dirty:
-                self.buffer.mark_dirty(page.page_id)
+                self.buffer.mark_dirty_page(page)
         return stamped
 
     def stamp_page_for_split(self, page: DataPage) -> int:

@@ -202,7 +202,7 @@ class PersistentTimestampTable:
         leaf.tids.insert(i, tid)
         leaf.ttimes.insert(i, ts.ttime)
         leaf.sns.insert(i, ts.sn)
-        self.buffer.mark_dirty(leaf.page_id, rec_lsn)
+        self.buffer.mark_dirty_page(leaf, rec_lsn)
         return True
 
     def delete(self, tid: int, rec_lsn: int = 0) -> bool:
@@ -214,7 +214,7 @@ class PersistentTimestampTable:
         del leaf.tids[i]
         del leaf.ttimes[i]
         del leaf.sns[i]
-        self.buffer.mark_dirty(leaf.page_id, rec_lsn)
+        self.buffer.mark_dirty_page(leaf, rec_lsn)
         return True
 
     # -- top-down splitting -------------------------------------------------------
@@ -259,8 +259,8 @@ class PersistentTimestampTable:
         )
         new_root.children = [moved.page_id]
         self.buffer.replace_page(new_root)
-        self.buffer.mark_dirty(moved.page_id, rec_lsn)
-        self.buffer.mark_dirty(new_root.page_id, rec_lsn)
+        self.buffer.mark_dirty_page(moved, rec_lsn)
+        self.buffer.mark_dirty_page(new_root, rec_lsn)
 
     def _split_child(
         self, parent: PTTNodePage, child: PTTNodePage, rec_lsn: int
@@ -304,9 +304,9 @@ class PersistentTimestampTable:
         at = bisect_right(parent.seps, sep)
         parent.seps.insert(at, sep)
         parent.children.insert(at + 1, right.page_id)
-        self.buffer.mark_dirty(parent.page_id, rec_lsn)
-        self.buffer.mark_dirty(child.page_id, rec_lsn)
-        self.buffer.mark_dirty(right.page_id, rec_lsn)
+        self.buffer.mark_dirty_page(parent, rec_lsn)
+        self.buffer.mark_dirty_page(child, rec_lsn)
+        self.buffer.mark_dirty_page(right, rec_lsn)
 
     # -- inspection -----------------------------------------------------------------------
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import BufferPoolError, LatchError
+from repro.errors import BufferExhaustedError, BufferPoolError, LatchError
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import InMemoryDisk
 from repro.storage.page import DataPage
@@ -202,3 +202,255 @@ class TestCrashSimulation:
         pool.discard_all()
         fetched = pool.get_page(pid)
         assert fetched.head(b"k") is None
+
+
+# -- PR 6: eviction policies, batched flushing, read-ahead ---------------------
+
+
+def fill_disk_pages(disk, count: int, start_key: int = 0) -> list[int]:
+    """Write ``count`` standalone data pages straight to disk; return ids."""
+    pids = []
+    for i in range(count):
+        pid = disk.allocate()
+        page = DataPage(pid)
+        page.insert_version(
+            RecordVersion.new(str(start_key + i).encode(), b"v", 1)
+        )
+        disk.write_page(pid, page.to_bytes())
+        pids.append(pid)
+    return pids
+
+
+class TestBufferExhausted:
+    def test_exhaustion_is_typed_with_breakdown(self, pool):
+        pages = [new_data_page(pool) for _ in range(4)]
+        for page in pages[:3]:
+            pool.pin(page.page_id)
+        pool.latch_exclusive(pages[3].page_id)
+        with pytest.raises(BufferExhaustedError) as exc_info:
+            new_data_page(pool)
+        err = exc_info.value
+        assert err.capacity == 4
+        assert err.pinned == 3
+        assert err.latched == 1
+        assert isinstance(err, BufferPoolError)  # callers catching the
+        # broad pool error keep working
+
+    def test_exhaustion_for_every_policy(self, disk):
+        for eviction in ("lru", "2q", "clock"):
+            pool = BufferPool(disk, capacity=4, eviction=eviction)
+            for _ in range(4):
+                pool.pin(new_data_page(pool).page_id)
+            with pytest.raises(BufferExhaustedError):
+                new_data_page(pool)
+
+    def test_unknown_policy_rejected(self, disk):
+        with pytest.raises(ValueError):
+            BufferPool(disk, capacity=8, eviction="arc")
+
+
+class TestTwoQPolicy:
+    def test_one_touch_pages_do_not_displace_reaccessed_ones(self, disk):
+        # Pool of 8: kin=1, kout=4.  Pages promoted via ghost re-fault land
+        # in Am and survive a scan of one-touch pages.
+        pool = BufferPool(disk, capacity=8, eviction="2q")
+        hot = fill_disk_pages(disk, 2)
+        scan = fill_disk_pages(disk, 20, start_key=100)
+        # First touch: hot pages enter probation, get evicted, ghosted.
+        for pid in hot:
+            pool.get_page(pid)
+        for pid in scan[:8]:
+            pool.get_page(pid)
+        # Re-fault while ghosted: promoted straight to Am.
+        for pid in hot:
+            pool.get_page(pid)
+        # A long one-touch scan now churns probation only.
+        for pid in scan[8:]:
+            pool.get_page(pid)
+        assert all(pool.contains(pid) for pid in hot)
+
+    def test_reaccess_in_probation_does_not_promote(self, disk):
+        pool = BufferPool(disk, capacity=8, eviction="2q")
+        pids = fill_disk_pages(disk, 12)
+        first = pids[0]
+        pool.get_page(first)
+        pool.get_page(first)  # hit while still in A1in: no promotion
+        for pid in pids[1:]:
+            pool.get_page(pid)
+        # Enough one-touch traffic flushed it out of probation despite the
+        # second access — the scan-resistance property 2Q is for.
+        assert not pool.contains(first)
+
+
+class TestClockPolicy:
+    def test_referenced_page_survives_one_lap(self, disk):
+        pool = BufferPool(disk, capacity=4, eviction="clock")
+        pids = fill_disk_pages(disk, 8)
+        for pid in pids[:4]:
+            pool.get_page(pid)
+        # First eviction laps the ring: all admit-time bits get cleared and
+        # the oldest frame goes.  Now reference bits are meaningful.
+        pool.get_page(pids[4])
+        assert not pool.contains(pids[0])
+        pool.get_page(pids[1])          # second chance for pids[1]
+        pool.get_page(pids[5])          # hand skips pids[1], evicts pids[2]
+        assert pool.contains(pids[1])
+        assert not pool.contains(pids[2])
+
+    def test_pinned_frames_skipped_without_losing_reference(self, disk):
+        pool = BufferPool(disk, capacity=4, eviction="clock")
+        pids = fill_disk_pages(disk, 8)
+        for pid in pids[:4]:
+            pool.get_page(pid)
+        pool.pin(pids[0])
+        before = pool.stats.evict_scan_skips
+        pool.get_page(pids[4])
+        assert pool.contains(pids[0])
+        assert pool.stats.evict_scan_skips > before
+
+
+class TestBatchedFlush:
+    def _dirty_pool(self, disk, *, flush_batch, count=6):
+        pool = BufferPool(disk, capacity=16, flush_batch=flush_batch)
+        forces = []
+        pool.log_force = forces.append
+        pages = [new_data_page(pool) for _ in range(count)]
+        for i, page in enumerate(pages):
+            page.lsn = i + 1
+            pool.mark_dirty(page.page_id, i + 1)
+        return pool, pages, forces
+
+    def test_flush_all_batches_with_one_force_per_batch(self, disk):
+        pool, pages, forces = self._dirty_pool(disk, flush_batch=4)
+        pool.flush_all()
+        assert pool.stats.flush_batches == 2           # 6 pages / batch of 4
+        assert len(forces) == 2                        # one force per batch
+        assert forces[0] == max(p.lsn for p in pages[:4])
+        assert not any(pool.is_dirty(p.page_id) for p in pages)
+
+    def test_batch_writes_in_page_id_order_and_counts_coalesced(self, disk):
+        pool, pages, _ = self._dirty_pool(disk, flush_batch=8)
+        order = []
+        real_write = disk.write_page
+        disk.write_page = lambda pid, raw: (order.append(pid),
+                                            real_write(pid, raw))[1]
+        pool.flush_all()
+        assert order == sorted(order)
+        # new_page allocates consecutively, so every write after the first
+        # lands adjacent to its predecessor.
+        assert pool.stats.flush_coalesced_writes == len(pages) - 1
+
+    def test_dirty_eviction_piggybacks_cold_dirty_companions(self, disk):
+        pool = BufferPool(disk, capacity=4, flush_batch=4)
+        pages = [new_data_page(pool) for _ in range(4)]
+        assert all(pool.is_dirty(p.page_id) for p in pages)
+        new_data_page(pool)  # one eviction...
+        assert pool.stats.dirty_evictions == 1
+        assert pool.stats.flush_batches == 1
+        # ...but the batch wrote the victim AND cold companions, leaving
+        # them cached-and-clean: their own eviction later costs nothing.
+        assert pool.stats.page_flushes >= 2
+
+    def test_flushbatch_failpoints_fire(self, disk):
+        from repro.faults.failpoints import FailpointRegistry, installed
+
+        pool, _, _ = self._dirty_pool(disk, flush_batch=4)
+        reg = FailpointRegistry()
+        reg.trace_on()
+        with installed(reg):
+            pool.flush_all()
+        trace = reg.trace or []
+        assert "buffer.flushbatch.submit" in trace
+        assert "buffer.flushbatch.write" in trace
+        assert "buffer.flushbatch.done" in trace
+        assert trace.index("buffer.flushbatch.submit") < trace.index(
+            "buffer.flushbatch.write"
+        )
+
+    def test_unbatched_default_uses_per_page_path(self, disk):
+        pool, _, forces = self._dirty_pool(disk, flush_batch=0)
+        pool.flush_all()
+        assert pool.stats.flush_batches == 0
+        assert len(forces) == 6                        # one force per page
+
+
+class TestReadAhead:
+    def test_negative_read_ahead_rejected(self, disk):
+        with pytest.raises(ValueError):
+            BufferPool(disk, capacity=8, read_ahead=-1)
+
+    def test_sequential_misses_trigger_prefetch(self, disk):
+        pids = fill_disk_pages(disk, 32)
+        pool = BufferPool(disk, capacity=8, read_ahead=4)
+        pool.get_page(pids[0])
+        pool.get_page(pids[1])  # gap 1: scan detected, window staged
+        assert pool.stats.prefetches > 0
+        before = pool.disk.stats.reads
+        pool.get_page(pids[2])  # served from the staging ring
+        assert pool.stats.prefetch_hits == 1
+        assert pool.disk.stats.reads == before
+
+    def test_random_misses_never_prefetch(self, disk):
+        pids = fill_disk_pages(disk, 32)
+        pool = BufferPool(disk, capacity=8, read_ahead=4)
+        for pid in (pids[0], pids[20], pids[5], pids[28]):
+            pool.get_page(pid)
+        assert pool.stats.prefetches == 0
+
+    def test_disabled_by_default(self, disk):
+        pids = fill_disk_pages(disk, 8)
+        pool = BufferPool(disk, capacity=8)
+        for pid in pids:
+            pool.get_page(pid)
+        assert pool.stats.prefetches == 0
+        assert not pool._staged
+
+    def test_admit_supersedes_staged_copy(self, disk):
+        # A page admitted (and possibly rewritten) after being staged must
+        # not be resurrected from the speculative copy on a later miss.
+        pids = fill_disk_pages(disk, 32)
+        pool = BufferPool(disk, capacity=8, read_ahead=4)
+        pool.get_page(pids[0])
+        pool.get_page(pids[1])            # stages pids[2..5]
+        assert pids[2] in pool._staged
+        page = pool.get_page(pids[2])     # staged copy becomes THE frame
+        assert pids[2] not in pool._staged
+        page.insert_version(RecordVersion.new(b"new", b"x", 9))
+        pool.mark_dirty(page.page_id)
+        pool.flush_page(page.page_id)
+        pool.discard_all()
+        assert pool.get_page(pids[2]).head(b"new") is not None
+
+    def test_window_stops_at_unreadable_page(self, disk):
+        pids = fill_disk_pages(disk, 4)
+        hole = disk.allocate()            # allocated, never written
+        more = fill_disk_pages(disk, 4, start_key=50)
+        pool = BufferPool(disk, capacity=8, read_ahead=8)
+        pool.get_page(pids[2])
+        pool.get_page(pids[3])            # window hits the hole and stops
+        assert hole not in pool._staged
+        assert all(pid not in pool._staged for pid in more)
+        # The demand path still reads past the hole normally.
+        assert pool.get_page(more[0]).page_id == more[0]
+
+
+class TestMarkDirtyPage:
+    def test_readmits_evicted_page_object(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        page = new_data_page(pool)
+        for _ in range(6):
+            new_data_page(pool)           # evicts `page`
+        assert not pool.contains(page.page_id)
+        page.insert_version(RecordVersion.new(b"k2", b"v2", 3))
+        pool.mark_dirty_page(page, 3)     # re-admits the mutated object
+        assert pool.contains(page.page_id)
+        assert pool.get_page(page.page_id) is page
+        assert pool.is_dirty(page.page_id)
+
+    def test_plain_mark_dirty_still_raises_for_uncached(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        page = new_data_page(pool)
+        for _ in range(6):
+            new_data_page(pool)
+        with pytest.raises(BufferPoolError):
+            pool.mark_dirty(page.page_id)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from collections import Counter
 
+import dataclasses
+
 import pytest
 
 from repro.faults.crashtest import (
@@ -160,3 +162,36 @@ class TestCLI:
         rc = main(["--seed", "0", *self.ARGS, "--crash-point", "999999"])
         assert rc == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestBatchedFlushCrossings:
+    """PR 6: crash points inside the batched write-back path."""
+
+    BATCHED = dataclasses.replace(SMALL, eviction="2q", flush_batch=3)
+
+    def test_flushbatch_crossings_enumerated(self):
+        names = enumerate_crossings(self.BATCHED)
+        for point in ("buffer.flushbatch.submit",
+                      "buffer.flushbatch.write",
+                      "buffer.flushbatch.done"):
+            assert point in names, f"no crossing at {point}"
+        # The per-page path stays in use too (flush_page / unbatched exits).
+        assert not any(n.startswith("buffer.flushbatch")
+                       for n in enumerate_crossings(SMALL))
+
+    def test_crashes_inside_flush_batches_recover_clean(self):
+        names = enumerate_crossings(self.BATCHED)
+        points = [i for i, name in enumerate(names)
+                  if name.startswith("buffer.flushbatch")]
+        assert len(points) >= 3
+        # A crash between the batch's single force and any of its page
+        # writes leaves a durable prefix; redo must rebuild the rest.
+        for crossing in points[:12]:
+            report = replay_crash_point(self.BATCHED, crossing)
+            assert report.crashed, names[crossing]
+            assert report.ok, (names[crossing], report.problems)
+
+    def test_repro_args_round_trip_new_flags(self):
+        args = self.BATCHED.repro_args(crossing=7)
+        assert "--eviction 2q" in args
+        assert "--flush-batch 3" in args

@@ -20,7 +20,8 @@ STRESS = os.environ.get("IMMORTAL_CONCURRENT_STRESS") == "1"
 
 
 def _make_db(**kwargs) -> tuple[ImmortalDB, object]:
-    db = ImmortalDB(buffer_pages=128, **kwargs)
+    kwargs.setdefault("buffer_pages", 128)
+    db = ImmortalDB(**kwargs)
     table = db.create_table("t", COLS, key="k", immortal=True)
     with db.transaction() as txn:
         for k in range(16):
@@ -225,6 +226,53 @@ class TestConcurrentOracle:
 
     def test_asof_equivalence_group_commit(self):
         self._run(workers=4, tasks=24, seed=12, group_commit_window=4)
+
+    def test_asof_equivalence_under_eviction_pressure(self):
+        # A pool far below the working set forces evictions (and batched
+        # write-backs) *between* the commits the oracle replays: stale disk
+        # images faulting back in, or a flush batch stamping the wrong
+        # version, would break AS OF equivalence here.  The fixture's 16
+        # rows fit one leaf, so this test builds its own multi-leaf table.
+        db = ImmortalDB(
+            buffer_pages=4, group_commit_window=4,
+            eviction="2q", flush_batch=4,
+        )
+        table = db.create_table("t", COLS, key="k", immortal=True)
+        keys = 600  # ~8 pages: several leaves plus PTT nodes vs. 4 frames
+        with db.transaction() as txn:
+            for k in range(keys):
+                table.insert(txn, {"k": k, "v": 0})
+        db.flush_commits()
+
+        def rmw(key):
+            def body(txn):
+                row = table.read(txn, key)
+                value = row["v"] + 1
+                table.update(txn, key, {"v": value})
+                return (key, value)
+            return body
+
+        rng = random.Random(15)
+        commits = []
+        with WorkerPool(db, n_workers=4, seed=15) as pool:
+            futures = [
+                pool.submit(rmw(rng.randrange(keys))) for _ in range(48)
+            ]
+            for f in futures:
+                key, value = f.result(60.0)
+                commits.append((f.commit_ts, key, value))
+        db.flush_commits()
+
+        commits.sort(key=lambda c: c[0])
+        state = {k: 0 for k in range(keys)}
+        for ts, key, value in commits:
+            state[key] = value
+            for k in range(0, keys, 77):  # sampled columns of the history
+                assert table.read_as_of(ts, k)["v"] == state[k], (ts, k)
+        assert verify_integrity(db) == []
+        stats = db.stats()
+        assert stats["buffer_evictions"] > 0
+        assert stats["flush_batches"] > 0
 
     @pytest.mark.skipif(not STRESS, reason="set IMMORTAL_CONCURRENT_STRESS=1")
     def test_stress_many_workers_many_txns(self):
