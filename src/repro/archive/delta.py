@@ -1,0 +1,186 @@
+"""Archive block codec: delta-compressed images of history pages.
+
+One archive **block** is the complete, exactly-reconstructible content of
+one migrated history page.  The encoding exploits the two redundancies a
+slotted version-chain page carries:
+
+* every version stores its full key, but a page holds few distinct keys —
+  the block stores each key once and refers to it by index; and
+* consecutive versions of one record typically differ in a few bytes
+  (the varying-value-length methodology in PAPERS.md), so each non-base
+  payload is stored as a (shared prefix, shared suffix, middle bytes)
+  delta against the key's **base version** — the oldest version of that
+  key in the page — falling back to raw bytes whenever the delta would
+  not be smaller.
+
+Versions are stored *positionally* (same order as ``DataPage.versions``),
+so the intra-page VP chain indices — including ``VP_IN_HISTORY`` slot
+numbers that point into the next page of the history chain — survive the
+round trip untouched, and ``decode_block`` rebuilds a page whose
+``to_bytes()`` image is byte-identical to the original's (modulo the page
+id stamped into the header, which the caller chooses).
+
+The assembled document is zlib-compressed as a whole; zlib then mops up
+the remaining redundancy (repeated filler in payloads, runs of equal
+header fields).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.clock import Timestamp
+from repro.errors import PageFormatError
+from repro.storage.constants import DATA_HEADER_SIZE, SLOT_SIZE
+from repro.storage.page import DataPage
+from repro.storage.record import RecordVersion
+
+BLOCK_MAGIC = b"IAB1"
+
+# table_id(4) header_flags(1) lsn(8) split(8+4) end(8+4) history(4)
+# next_leaf(4) page_size(4) nkeys(2) nversions(2) nslots(2)
+_BLOCK_HEADER = struct.Struct(">IBQQIQIIIIHHH")
+
+_RAW = 0     # payload mode: length-prefixed raw bytes
+_DELTA = 1   # payload mode: (prefix, suffix, middle) vs the key's base payload
+
+_VERSION_HEAD = struct.Struct(">BHQIHB")   # flags, vp, ttime_field, sn, key_idx, mode
+_RAW_LEN = struct.Struct(">H")
+_DELTA_HEAD = struct.Struct(">HHH")        # prefix_len, suffix_len, middle_len
+
+
+def _common_affix(base: bytes, payload: bytes) -> tuple[int, int]:
+    """Longest common prefix/suffix lengths of ``base`` and ``payload``."""
+    limit = min(len(base), len(payload))
+    prefix = 0
+    while prefix < limit and base[prefix] == payload[prefix]:
+        prefix += 1
+    suffix = 0
+    remaining = limit - prefix
+    while suffix < remaining and base[-1 - suffix] == payload[-1 - suffix]:
+        suffix += 1
+    return prefix, suffix
+
+
+def encode_block(page: DataPage) -> bytes:
+    """Serialize a history page into a compressed archive block."""
+    key_index: dict[bytes, int] = {}
+    bases: dict[int, bytes] = {}
+    body = bytearray()
+    for version in page.versions:
+        idx = key_index.setdefault(version.key, len(key_index))
+        payload = version.payload
+        base = bases.get(idx)
+        if base is None:
+            bases[idx] = payload
+            mode, encoded = _RAW, _RAW_LEN.pack(len(payload)) + payload
+        else:
+            prefix, suffix = _common_affix(base, payload)
+            middle = payload[prefix : len(payload) - suffix]
+            if _DELTA_HEAD.size + len(middle) < _RAW_LEN.size + len(payload):
+                mode = _DELTA
+                encoded = _DELTA_HEAD.pack(prefix, suffix, len(middle)) + middle
+            else:
+                mode, encoded = _RAW, _RAW_LEN.pack(len(payload)) + payload
+        body += _VERSION_HEAD.pack(
+            version.flags, version.vp, version.ttime_field, version.sn, idx, mode
+        )
+        body += encoded
+    keys = bytearray()
+    for key in key_index:  # insertion order == index order
+        keys += _RAW_LEN.pack(len(key)) + key
+    header = _BLOCK_HEADER.pack(
+        page.table_id, page.header_flags, page.lsn,
+        page.split_ts.ttime, page.split_ts.sn,
+        page.end_ts.ttime, page.end_ts.sn,
+        page.history_page_id, page.next_leaf_id, page.page_size,
+        len(key_index), len(page.versions), len(page.slots),
+    )
+    slots = struct.pack(f">{len(page.slots)}H", *page.slots)
+    return zlib.compress(bytes(BLOCK_MAGIC + header + keys + body + slots), 6)
+
+
+def decode_block(blob: bytes, page_id: int) -> DataPage:
+    """Reconstruct the archived history page, stamped with ``page_id``."""
+    try:
+        doc = zlib.decompress(blob)
+    except zlib.error as exc:
+        raise PageFormatError(f"archive block is not valid zlib data: {exc}") from exc
+    if doc[: len(BLOCK_MAGIC)] != BLOCK_MAGIC:
+        raise PageFormatError("archive block has a bad magic number")
+    try:
+        (
+            table_id, header_flags, lsn,
+            split_ttime, split_sn, end_ttime, end_sn,
+            history_page_id, next_leaf_id, page_size,
+            nkeys, nversions, nslots,
+        ) = _BLOCK_HEADER.unpack_from(doc, len(BLOCK_MAGIC))
+        offset = len(BLOCK_MAGIC) + _BLOCK_HEADER.size
+        keys: list[bytes] = []
+        for _ in range(nkeys):
+            (klen,) = _RAW_LEN.unpack_from(doc, offset)
+            offset += _RAW_LEN.size
+            keys.append(doc[offset : offset + klen])
+            if len(keys[-1]) != klen:
+                raise PageFormatError("archive block truncated in key table")
+            offset += klen
+        versions: list[RecordVersion] = []
+        bases: dict[int, bytes] = {}
+        for _ in range(nversions):
+            flags, vp, ttime_field, sn, key_idx, mode = _VERSION_HEAD.unpack_from(
+                doc, offset
+            )
+            offset += _VERSION_HEAD.size
+            if key_idx >= nkeys:
+                raise PageFormatError("archive block version references a bad key")
+            if mode == _RAW:
+                (plen,) = _RAW_LEN.unpack_from(doc, offset)
+                offset += _RAW_LEN.size
+                payload = doc[offset : offset + plen]
+                if len(payload) != plen:
+                    raise PageFormatError("archive block truncated in payload")
+                offset += plen
+            elif mode == _DELTA:
+                prefix, suffix, mlen = _DELTA_HEAD.unpack_from(doc, offset)
+                offset += _DELTA_HEAD.size
+                middle = doc[offset : offset + mlen]
+                if len(middle) != mlen:
+                    raise PageFormatError("archive block truncated in delta")
+                offset += mlen
+                base = bases.get(key_idx)
+                if base is None:
+                    raise PageFormatError("archive block delta precedes its base")
+                payload = (
+                    base[:prefix] + middle + (base[len(base) - suffix :] if suffix else b"")
+                )
+            else:
+                raise PageFormatError(f"archive block has payload mode {mode}")
+            if key_idx not in bases:
+                bases[key_idx] = payload
+            versions.append(
+                RecordVersion(keys[key_idx], payload, flags, vp, ttime_field, sn)
+            )
+        slots = list(struct.unpack_from(f">{nslots}H", doc, offset))
+        offset += nslots * SLOT_SIZE
+    except struct.error as exc:
+        raise PageFormatError(f"archive block is truncated: {exc}") from exc
+    for slot in slots:
+        if slot >= nversions:
+            raise PageFormatError("archive block slot points past version area")
+    page = DataPage(page_id, is_history=True, page_size=page_size, table_id=table_id)
+    page.header_flags = header_flags
+    page.lsn = lsn
+    page.split_ts = Timestamp(split_ttime, split_sn)
+    page.end_ts = Timestamp(end_ttime, end_sn)
+    page.history_page_id = history_page_id
+    page.next_leaf_id = next_leaf_id
+    page.versions = versions
+    page.slots = slots
+    page._slot_keys = [versions[h].key for h in slots]
+    page._used = (
+        DATA_HEADER_SIZE
+        + sum(v.size_on_page for v in versions)
+        + SLOT_SIZE * nslots
+    )
+    return page

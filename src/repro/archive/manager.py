@@ -1,0 +1,477 @@
+"""Archive manager: migration policy, crash atomicity, and the read seam.
+
+Migration is a **budgeted background pass**, like the PR-4 scrubber: each
+:meth:`ArchiveManager.step` archives at most ``pages_per_step`` cold
+history pages, so the work rides along with checkpoints (``auto=True``)
+without ever stalling the foreground.
+
+A page is a migration candidate when its history is provably closed and
+cold:
+
+* it is a history page whose ``end_ts`` lies at or below the temperature
+  horizon (``clock.now() - cold_ms``);
+* every version is timestamped (lazy stamping finished — archived blocks
+  are immutable, nobody will revisit them);
+* its own history link already points off-tier (0 or an archive ref), so
+  chains are peeled **oldest-tail first** and an archived page never
+  points at a TSB-tree page; and
+* its table has no TSB history index (TSB index terms store raw page
+  ids; retargeting them is future work, documented in DESIGN.md).
+
+Per-page migration protocol (crash-atomic; each numbered step has a
+failpoint so the crashtest harness kills the process between any two):
+
+1. ``archive.migrate.select`` — re-verify candidacy, flush the page if
+   dirty (the archived image must match the durable one);
+2. ``archive.migrate.append`` — encode the delta block, append it to the
+   store, assign the next ref index;
+3. ``archive.migrate.sync`` — append a manifest snapshot naming the new
+   ref and **sync the store**.  From here the archive copy is durable;
+4. ``archive.migrate.relink`` — rewrite every referrer's
+   ``history_page_id`` from the raw pid to the ref pid, write-through;
+5. ``archive.migrate.free`` — drop the old page's frame, zero-fill its
+   disk image, and put the pid on the free list.
+
+Why each intermediate crash state is consistent:
+
+* crash before the sync — the block and manifest are an unsynced tail the
+  store discards; every on-disk link still names the intact raw page.
+* crash between sync and the last relink flush — some referrers name the
+  ref (durably described by the synced manifest), the rest still name
+  the raw page, which is untouched.  Both routes decode the same chain.
+* crash after relinks, before/during the free — worst case a zero-filled
+  page whose pid never reached a durable catalog: a leaked hole, never a
+  dangling link, because relinked referrer images (carrying LSNs ≥ any
+  record describing the old link) were flushed before the free, and redo
+  only applies records newer than the page image's LSN.
+
+Reads come back through the buffer pool's resolver seam
+(``BufferPool.archive_resolver``): a ``history_page_id`` with
+:data:`~repro.storage.constants.ARCHIVE_PID_BIT` set never enters the
+frame table; the manager materializes the block (ref → run id + block →
+decode) through its own small LRU of decoded pages, so ``page_for_time``,
+the as-of route cache, history scans and the integrity walker all work
+unchanged on either tier.  A block that fails to decode quarantines the
+ref — reads degrade through the PR-5 ``Degraded`` path instead of
+corrupting results.
+
+Runs follow the lstore merge idiom (SNIPPETS.md #1): each step seals one
+level-0 run; when ``merge_threshold`` live runs accumulate at a level,
+their blocks are copied into one dense run at the next level and the refs
+are remapped — the store stays append-only, superseded runs simply stop
+being referenced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.archive.delta import decode_block, encode_block
+from repro.archive.store import ArchiveStore, BlockMeta, RunMeta
+from repro.clock import TICK_MS, Timestamp
+from repro.errors import PageQuarantinedError
+from repro.faults.failpoints import fire
+from repro.storage.constants import (
+    ARCHIVE_PID_BIT,
+    CHECKSUM_OFFSET,
+    CHECKSUM_SIZE,
+    NO_PAGE,
+)
+from repro.storage.freelist import PageFreeList
+from repro.storage.page import DataPage, decode_page
+
+
+@dataclass
+class ArchiveConfig:
+    """Knobs for cold-history tiering (see DESIGN.md "Cold-history tiering")."""
+
+    cold_ms: float = 10_000.0   # history colder than this is migratable
+    pages_per_step: int = 8     # migration budget per step (scrubber idiom)
+    merge_threshold: int = 10   # live runs per level before a merge
+    auto: bool = True           # run a step inside every checkpoint
+    max_cached_pages: int = 128  # decoded-page LRU behind the resolver
+
+
+@dataclass
+class ArchiveStats:
+    """Cumulative archive counters (surfaced through ``ImmortalDB.stats``)."""
+
+    pages_migrated: int = 0
+    pages_freed: int = 0
+    blocks_written: int = 0
+    block_reads: int = 0
+    merges: int = 0
+    quarantined: int = 0
+
+
+class ArchiveManager:
+    """Owns the archive store, the ref table, and the migration pass."""
+
+    def __init__(
+        self,
+        engine,
+        config: ArchiveConfig | None = None,
+        *,
+        store_path: str | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ArchiveConfig()
+        self.store = ArchiveStore(store_path)
+        self.stats = ArchiveStats()
+        self.runs: dict[int, RunMeta] = {}
+        # refs[i] = (run_id, block_index); ref pid = ARCHIVE_PID_BIT | i.
+        # Entries are remapped by merges but never removed: a ref pid stored
+        # in a page header must stay resolvable forever.
+        self.refs: list[tuple[int, int]] = []
+        self.next_run_id = 1
+        self.quarantined: set[int] = set()
+        self._cache: OrderedDict[int, DataPage] = OrderedDict()
+        # Wire the seams: reads resolve through us, frees feed allocation.
+        engine.buffer.archive_resolver = self.materialize
+        if engine.disk.free_list is None:
+            engine.disk.free_list = PageFreeList()
+        engine.disk.free_list.replace(engine.catalog.free_pids)
+        self._load_manifest()
+
+    # -- manifest ----------------------------------------------------------
+
+    def _manifest_doc(self) -> dict:
+        return {
+            "format": 1,
+            "next_run_id": self.next_run_id,
+            "runs": [self.runs[rid].to_doc() for rid in sorted(self.runs)],
+            "refs": [list(entry) for entry in self.refs],
+        }
+
+    def _load_manifest(self) -> None:
+        doc = self.store.last_manifest()
+        if doc is None:
+            self.runs = {}
+            self.refs = []
+            self.next_run_id = 1
+            return
+        self.next_run_id = doc["next_run_id"]
+        self.runs = {
+            run["id"]: RunMeta.from_doc(run) for run in doc["runs"]
+        }
+        self.refs = [(entry[0], entry[1]) for entry in doc["refs"]]
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def live_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def live_blocks(self) -> int:
+        return len(self.refs)
+
+    @property
+    def bytes_raw(self) -> int:
+        """Pre-compression bytes of every live (referenced) block."""
+        return sum(run.raw_bytes for run in self.runs.values())
+
+    @property
+    def bytes_stored(self) -> int:
+        """Compressed bytes of every live block."""
+        return sum(run.stored_bytes for run in self.runs.values())
+
+    # -- the read seam -----------------------------------------------------
+
+    def materialize(self, page_id: int) -> DataPage:
+        """Resolve an archive-ref page id into a decoded history page.
+
+        Installed as ``BufferPool.archive_resolver``; the returned pages
+        are immutable and never enter the frame table — they live in a
+        private LRU sized by ``max_cached_pages``.
+        """
+        if page_id in self.quarantined:
+            raise PageQuarantinedError(
+                f"archive block for page {page_id:#x} is quarantined",
+                page_id=page_id,
+            )
+        page = self._cache.get(page_id)
+        if page is not None:
+            self._cache.move_to_end(page_id)
+            return page
+        fire("archive.read.block")
+        ref = page_id & ~ARCHIVE_PID_BIT
+        try:
+            run_id, block_idx = self.refs[ref]
+            meta = self.runs[run_id].blocks[block_idx]
+            blob = self.store.read_block(meta.record)
+            fire("archive.read.decode")
+            page = decode_block(blob, page_id)
+        except Exception as exc:
+            # SimulatedCrash derives from BaseException and passes through.
+            self.quarantined.add(page_id)
+            self.stats.quarantined += 1
+            raise PageQuarantinedError(
+                f"archive block for page {page_id:#x} is unreadable: {exc}",
+                page_id=page_id,
+            ) from exc
+        self.stats.block_reads += 1
+        self._cache[page_id] = page
+        while len(self._cache) > self.config.max_cached_pages:
+            self._cache.popitem(last=False)
+        return page
+
+    # -- candidate selection ----------------------------------------------
+
+    def _horizon(self) -> Timestamp:
+        ticks_back = int(self.config.cold_ms // TICK_MS)
+        return Timestamp(max(0, self.engine.clock.tick - ticks_back), 0)
+
+    def _peek_page(self, pid: int):
+        """Read a page without disturbing the buffer pool (scrubber idiom).
+
+        The migration pass inspects every history page each step; pulling
+        them all through the pool would flush the foreground's working set
+        on every checkpoint.  Cached pages are served from their frame
+        (they may be dirty); everything else decodes straight from disk.
+        """
+        buffer = self.engine.buffer
+        if buffer.contains(pid):
+            return buffer.get_page(pid)
+        return decode_page(self.engine.disk.read_page(pid))
+
+    def _iter_leaves(self, btree):
+        """Walk a table's current leaves without touching the buffer pool.
+
+        ``BTree.leaves()`` pulls every leaf through the pool, which would
+        evict the foreground's working set on each migration step.  This
+        walk descends to the leftmost leaf and follows the sibling chain
+        entirely through :meth:`_peek_page`.
+        """
+        from repro.access.btree import BTreeIndexPage
+
+        node = self._peek_page(btree.root_pid)
+        while isinstance(node, BTreeIndexPage):
+            node = self._peek_page(node.children[0])
+        while isinstance(node, DataPage):
+            yield node
+            next_pid = node.next_leaf_id
+            if not next_pid:
+                return
+            node = self._peek_page(next_pid)
+
+    def _scan(self) -> tuple[list[int], dict[int, list[int]]]:
+        """Find migratable pages and who points at them.
+
+        Returns (candidates ordered oldest-end-time-first, {pid: referrer
+        pids}).  The referrer map is rebuilt fresh every step because key
+        splits make sibling leaves share history-chain suffixes — every
+        link must be rewritten before a page can be freed.
+        """
+        horizon = self._horizon()
+        referrers: dict[int, list[int]] = {}
+        info: dict[int, tuple[Timestamp, bool]] = {}
+        for table in self.engine.tables.values():
+            if not table.schema.immortal or table.history_index is not None:
+                continue
+            for leaf in self._iter_leaves(table.btree):
+                prev_pid = leaf.page_id
+                pid = leaf.history_page_id
+                while pid != NO_PAGE and not pid & ARCHIVE_PID_BIT:
+                    referrers.setdefault(pid, []).append(prev_pid)
+                    if pid in info:
+                        break  # shared suffix: deeper links already walked
+                    page = self._peek_page(pid)
+                    migratable = (
+                        isinstance(page, DataPage)
+                        and page.is_history
+                        and page.end_ts <= horizon
+                        and not page.has_unstamped_records()
+                        and (
+                            page.history_page_id == NO_PAGE
+                            or page.history_page_id & ARCHIVE_PID_BIT
+                        )
+                    )
+                    info[pid] = (page.end_ts, migratable)
+                    prev_pid = pid
+                    pid = page.history_page_id
+        candidates = sorted(
+            (pid for pid, (_, ok) in info.items() if ok),
+            key=lambda pid: (info[pid][0], pid),
+        )
+        return candidates, referrers
+
+    # -- migration ---------------------------------------------------------
+
+    def step(self, budget: int | None = None) -> int:
+        """Migrate up to ``budget`` cold pages; returns how many moved."""
+        budget = self.config.pages_per_step if budget is None else budget
+        if budget <= 0:
+            return 0
+        candidates, referrers = self._scan()
+        if not candidates:
+            return 0
+        buffer = self.engine.buffer
+        disk = self.engine.disk
+        run: RunMeta | None = None
+        migrated = 0
+        for pid in candidates[:budget]:
+            fire("archive.migrate.select")
+            if buffer.is_dirty(pid):
+                buffer.flush_page(pid)
+            page = self._peek_page(pid)
+            blob = encode_block(page)
+            if run is None:
+                run = RunMeta(run_id=self.next_run_id, level=0)
+                self.next_run_id += 1
+                self.runs[run.run_id] = run
+            fire("archive.migrate.append")
+            record = self.store.append_block(blob)
+            block_idx = len(run.blocks)
+            run.blocks.append(
+                BlockMeta(
+                    record=record,
+                    length=len(blob),
+                    raw_bytes=page.used_bytes,
+                    key_low=page.min_key or b"",
+                    key_high=page.max_key or b"",
+                    t_low=page.split_ts,
+                    t_high=page.end_ts,
+                )
+            )
+            ref_index = len(self.refs)
+            self.refs.append((run.run_id, block_idx))
+            ref_pid = ARCHIVE_PID_BIT | ref_index
+            self.store.append_manifest(self._manifest_doc())
+            fire("archive.migrate.sync")
+            self.store.sync()
+            self.stats.blocks_written += 1
+            # The archive copy is durable; now move every link, then free.
+            fire("archive.migrate.relink")
+            for rpid in referrers.get(pid, ()):
+                if buffer.contains(rpid):
+                    referrer = buffer.get_page(rpid)
+                    if referrer.history_page_id == pid:
+                        referrer.history_page_id = ref_pid
+                        buffer.mark_dirty_page(referrer)
+                        buffer.flush_page(rpid)
+                else:
+                    # Uncached referrer: write through directly, pool
+                    # untouched (same durability — a full-image write).
+                    referrer = decode_page(disk.read_page(rpid))
+                    if (
+                        isinstance(referrer, DataPage)
+                        and referrer.history_page_id == pid
+                    ):
+                        referrer.history_page_id = ref_pid
+                        disk.write_page(rpid, referrer.to_bytes())
+            fire("archive.migrate.free")
+            if buffer.contains(pid):
+                buffer.discard_page(pid)
+            disk.write_page(pid, bytes(disk.page_size))
+            disk.free_list.add(pid)
+            self.stats.pages_migrated += 1
+            self.stats.pages_freed += 1
+            migrated += 1
+        if migrated:
+            self._maybe_merge()
+            # Cached routes and page views may still name migrated pids.
+            if self.engine.route_cache is not None:
+                self.engine.route_cache.clear()
+            if self.engine.page_views is not None:
+                self.engine.page_views.clear()
+            self.engine._save_meta()
+        return migrated
+
+    def drain(self, max_steps: int = 1000) -> int:
+        """Run steps until no candidate remains; returns pages migrated."""
+        total = 0
+        for _ in range(max_steps):
+            moved = self.step()
+            if moved == 0:
+                break
+            total += moved
+        return total
+
+    # -- levelled merging --------------------------------------------------
+
+    def _maybe_merge(self) -> None:
+        """Consolidate under-filled runs, lstore MERGE_THRESHOLD style."""
+        level = 0
+        while True:
+            peers = sorted(
+                (run for run in self.runs.values() if run.level == level),
+                key=lambda run: run.run_id,
+            )
+            if len(peers) < self.config.merge_threshold:
+                return
+            fire("archive.migrate.merge")
+            merged = RunMeta(run_id=self.next_run_id, level=level + 1)
+            self.next_run_id += 1
+            remap: dict[tuple[int, int], tuple[int, int]] = {}
+            for old in peers:
+                for block_idx, meta in enumerate(old.blocks):
+                    blob = self.store.read_block(meta.record)
+                    record = self.store.append_block(blob)
+                    remap[(old.run_id, block_idx)] = (
+                        merged.run_id, len(merged.blocks)
+                    )
+                    merged.blocks.append(
+                        BlockMeta(
+                            record=record,
+                            length=meta.length,
+                            raw_bytes=meta.raw_bytes,
+                            key_low=meta.key_low,
+                            key_high=meta.key_high,
+                            t_low=meta.t_low,
+                            t_high=meta.t_high,
+                        )
+                    )
+            for old in peers:
+                del self.runs[old.run_id]
+            self.runs[merged.run_id] = merged
+            self.refs = [remap.get(entry, entry) for entry in self.refs]
+            self.store.append_manifest(self._manifest_doc())
+            self.store.sync()
+            self.stats.merges += 1
+            level += 1
+
+    # -- crash / recovery --------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Simulated power loss: lose volatile state, keep the durable store."""
+        self.store.crash()
+        self._cache.clear()
+        self.quarantined.clear()
+        self._load_manifest()
+
+    def after_recovery(self) -> None:
+        """Rebuild post-redo state: manifest, then free-list validation.
+
+        A pid from the durable catalog stays free only if its disk image
+        is blank (zero-filled at free time; the CRC field is excluded
+        because checksums are stamped at write) and the buffer holds no
+        frame for it — anything else means redo resurrected the page or
+        the free never completed, and reusing the pid could double-home
+        two pages.
+        """
+        self._cache.clear()
+        self.quarantined.clear()
+        self._load_manifest()
+        disk = self.engine.disk
+        free_list = disk.free_list
+        free_list.replace(self.engine.catalog.free_pids)
+        kept: list[int] = []
+        for pid in free_list.to_list():
+            if pid <= 0 or pid >= disk.page_count:
+                continue
+            if self.engine.buffer.contains(pid):
+                continue
+            try:
+                raw = disk.read_page(pid)
+            except Exception:
+                continue
+            before = raw[:CHECKSUM_OFFSET]
+            after = raw[CHECKSUM_OFFSET + CHECKSUM_SIZE :]
+            if not any(before) and not any(after):
+                kept.append(pid)
+        free_list.replace(kept)
+
+    def close(self) -> None:
+        self.store.close()

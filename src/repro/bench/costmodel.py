@@ -74,6 +74,15 @@ class CostModel:
     flush_batch_ms: float = 0.0        # assemble + dispatch one write batch
     coalesced_write_ms: float = 0.0    # one batch write adjacent to previous
     evict_scan_skip_ms: float = 0.0    # step over one pinned/latched frame
+    # Cold-history archive counters (PR 7).  Zero-priced by default —
+    # archiving is off in the figure workloads, so every counter is zero
+    # there and fig5/fig6 stay byte-identical — but non-zero rates let the
+    # history-depth benchmark price block materialization (a sequential
+    # read + decode of one delta block), per-page migration work, and run
+    # merges for tiering studies.
+    archive_migrate_page_ms: float = 0.0   # encode + append + relink one page
+    archive_block_read_ms: float = 0.0     # fetch + decode one archive block
+    archive_merge_ms: float = 0.0          # consolidate one level of runs
 
     def simulated_ms(self, delta: dict) -> float:
         """Price a stats delta (see :meth:`ImmortalDB.stats`)."""
@@ -130,6 +139,9 @@ class CostModel:
             + delta.get("flush_batches", 0) * self.flush_batch_ms
             + delta.get("flush_coalesced_writes", 0) * self.coalesced_write_ms
             + delta.get("evict_scan_skips", 0) * self.evict_scan_skip_ms
+            + delta.get("archive_pages_migrated", 0) * self.archive_migrate_page_ms
+            + delta.get("archive_block_reads", 0) * self.archive_block_read_ms
+            + delta.get("archive_merges", 0) * self.archive_merge_ms
         )
 
 

@@ -86,6 +86,9 @@ class Catalog:
     tables: dict[str, TableSchema] = field(default_factory=dict)
     next_table_id: int = 1
     ptt_root_pid: int = 0
+    # Page ids reclaimed by archive migration, persisted opportunistically
+    # (see repro.storage.freelist for the lazy crash-safety argument).
+    free_pids: list[int] = field(default_factory=list)
 
     def add_table(self, schema: TableSchema) -> None:
         if schema.name in self.tables:
@@ -124,6 +127,10 @@ class Catalog:
             "ptt_root_pid": self.ptt_root_pid,
             "tables": [schema.to_json() for schema in self.tables.values()],
         }
+        # Emitted only when non-empty so blobs without archiving stay
+        # byte-identical to the pre-archive format.
+        if self.free_pids:
+            doc["free_pids"] = self.free_pids
         return json.dumps(doc, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -139,6 +146,7 @@ class Catalog:
         catalog = cls(
             next_table_id=doc["next_table_id"],
             ptt_root_pid=doc["ptt_root_pid"],
+            free_pids=list(doc.get("free_pids", [])),
         )
         for table_doc in doc["tables"]:
             catalog.add_table(TableSchema.from_json(table_doc))

@@ -76,6 +76,7 @@ class ImmortalDB:
         eviction: str = "lru",
         flush_batch: int = 0,
         read_ahead: int = 0,
+        archive=None,
     ) -> None:
         if timestamping not in ("lazy", "eager"):
             raise ValueError("timestamping must be 'lazy' or 'eager'")
@@ -159,6 +160,25 @@ class ImmortalDB:
         self.page_views = (
             PageViewCache(self.asof_stats) if asof_route_cache else None
         )
+        # Cold-history archive tiering (opt-in, see DESIGN.md "Cold-history
+        # tiering").  ``archive`` accepts True, an ArchiveConfig, or a dict
+        # of its fields; the default None attaches nothing — no resolver,
+        # no free list — keeping behaviour and on-disk images byte-identical
+        # to the pre-archive engine.
+        self.archive = None
+        if archive:
+            from repro.archive.manager import ArchiveConfig, ArchiveManager
+
+            if archive is True:
+                archive_config = ArchiveConfig()
+            elif isinstance(archive, dict):
+                archive_config = ArchiveConfig(**archive)
+            else:
+                archive_config = archive
+            self.archive = ArchiveManager(
+                self, archive_config,
+                store_path=str(path) + ".archive" if path else None,
+            )
         self.version_ops = 0       # record versions created (cost model)
         self.tables: dict[str, Table] = {}
         self._tables_by_id: dict[int, Table] = {}
@@ -183,6 +203,8 @@ class ImmortalDB:
         """Write the boot page through to disk (durable immediately)."""
         fire("engine.save_meta")
         self.catalog.ptt_root_pid = self.ptt.root_pid
+        if getattr(self, "archive", None) is not None:
+            self.catalog.free_pids = self.disk.free_list.to_list()
         meta = MetaPage(
             META_PAGE_ID, self.catalog.to_blob(), page_size=self.disk.page_size
         )
@@ -477,6 +499,10 @@ class ImmortalDB:
             # it stamped are captured in the backup (see MediaRecoveryManager).
             horizon = min(horizon, self.repair.backup_gc_horizon)
         collected = self.tsmgr.garbage_collect(horizon)
+        if self.archive is not None and self.archive.config.auto:
+            # Budgeted cold-history migration rides along with checkpoints,
+            # the same piggybacking the PR-4 scrubber uses.
+            self.archive.step()
         self._save_meta()
         return collected
 
@@ -511,6 +537,8 @@ class ImmortalDB:
         self.txn_mgr.active.clear()
         if self.repair is not None:
             self.repair.on_crash()
+        if self.archive is not None:
+            self.archive.on_crash()
 
     def recover(self) -> RecoveryReport:
         """Restart after :meth:`crash`: analysis, redo, undo, re-open."""
@@ -525,6 +553,10 @@ class ImmortalDB:
         report = run_recovery(self)
         self.txn_mgr.adopt_tid_floor(self._max_tid_seen())
         self.tsmgr.recovery_fallback = self.clock.now()
+        if self.archive is not None:
+            # Reload the durable manifest and re-validate the free list
+            # against the post-redo page images before anything reuses ids.
+            self.archive.after_recovery()
         self.checkpoint(flush=True)
         return report
 
@@ -568,6 +600,8 @@ class ImmortalDB:
         self.checkpoint(flush=True)
         if isinstance(self.log, FileLogManager):
             self.log.close()
+        if self.archive is not None:
+            self.archive.close()
         self.disk.close()
 
     def __enter__(self) -> "ImmortalDB":
@@ -649,6 +683,20 @@ class ImmortalDB:
                 self.scrubber.stats.pages_scanned if self.scrubber else 0,
             "scrub_findings":
                 self.scrubber.stats.findings if self.scrubber else 0,
+            # Cold-history archive tiering (all zero with archiving off;
+            # "archive_records" above is the PR-4 WAL archive, unrelated).
+            "archive_pages_migrated":
+                self.archive.stats.pages_migrated if self.archive else 0,
+            "archive_pages_freed":
+                self.archive.stats.pages_freed if self.archive else 0,
+            "archive_runs": self.archive.live_runs if self.archive else 0,
+            "archive_blocks": self.archive.live_blocks if self.archive else 0,
+            "archive_block_reads":
+                self.archive.stats.block_reads if self.archive else 0,
+            "archive_merges": self.archive.stats.merges if self.archive else 0,
+            "archive_bytes_raw": self.archive.bytes_raw if self.archive else 0,
+            "archive_bytes_stored":
+                self.archive.bytes_stored if self.archive else 0,
             # Concurrent execution (all zero in single-threaded runs).
             "lock_waits": self.locks.stats.lock_waits,
             "lock_wait_ns": self.locks.stats.lock_wait_ns,

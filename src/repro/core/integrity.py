@@ -33,7 +33,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.clock import Timestamp
-from repro.errors import ImmortalDBError, UnknownTransactionError
+from repro.errors import (
+    ImmortalDBError,
+    PageQuarantinedError,
+    UnknownTransactionError,
+)
 from repro.storage.page import DataPage, decode_page
 from repro.access.btree import BTreeIndexPage
 
@@ -101,6 +105,7 @@ def integrity_report(db: "ImmortalDB") -> IntegrityReport:
         _check_history_chains(db, table, report)
         _check_tsb(db, table, report)
     _check_ptt(db, report)
+    _check_archive(db, report)
     return report
 
 
@@ -284,7 +289,12 @@ def _check_history_chains(
         expected_end = leaf.split_ts
         pid = leaf.history_page_id
         while pid:
-            page = db.buffer.get_page(pid)
+            try:
+                page = db.buffer.get_page(pid)
+            except PageQuarantinedError:
+                # A quarantined archive block breaks the walk, but the
+                # damage itself is reported (with detail) by _check_archive.
+                break
             if not isinstance(page, DataPage) or not page.is_history:
                 report.add(
                     "history-chain",
@@ -353,3 +363,81 @@ def _check_ptt(db: "ImmortalDB", report: IntegrityReport) -> None:
                 f"PTT: entries not strictly ascending at TID {tid}",
             )
         last_tid = tid
+
+
+def _check_archive(db: "ImmortalDB", report: IntegrityReport) -> None:
+    """Verify every live archive block against its manifest fences.
+
+    Blocks are read straight from the store (not through the resolver),
+    so damage is reported as a finding instead of tripping quarantine.
+    Archived pages must be self-consistent, fully timestamped (their
+    chains were stamped before migration — no VTT/PTT resolution may be
+    needed ever again), and must lie inside the key/time fences the
+    manifest advertises for routing.
+    """
+    archive = getattr(db, "archive", None)
+    if archive is None:
+        return
+    from repro.archive.delta import decode_block
+    from repro.storage.constants import ARCHIVE_PID_BIT
+
+    for ref_index, (run_id, block_idx) in enumerate(archive.refs):
+        pid = ARCHIVE_PID_BIT | ref_index
+        run = archive.runs.get(run_id)
+        if run is None or block_idx >= len(run.blocks):
+            report.add(
+                "archive",
+                f"archive ref {ref_index} names missing run {run_id} "
+                f"block {block_idx}",
+                page_id=pid,
+            )
+            continue
+        meta = run.blocks[block_idx]
+        try:
+            page = decode_block(archive.store.read_block(meta.record), pid)
+        except Exception as exc:  # noqa: BLE001 - any failure is a finding
+            report.add(
+                "archive",
+                f"archive ref {ref_index} block is unreadable: {exc}",
+                page_id=pid,
+            )
+            continue
+        for problem in page.self_check():
+            report.add(
+                "archive",
+                f"archive ref {ref_index}: {problem}",
+                page_id=pid,
+            )
+        if (meta.t_low, meta.t_high) != (page.split_ts, page.end_ts):
+            report.add(
+                "archive",
+                f"archive ref {ref_index} fences "
+                f"[{meta.t_low}, {meta.t_high}) disagree with the block's "
+                f"[{page.split_ts}, {page.end_ts})",
+                page_id=pid,
+            )
+        for key in page.keys():
+            if key < meta.key_low or key > meta.key_high:
+                report.add(
+                    "archive",
+                    f"archive ref {ref_index} holds key {key!r} outside "
+                    f"its fences [{meta.key_low!r}, {meta.key_high!r}]",
+                    page_id=pid,
+                )
+        if page.has_unstamped_records():
+            report.add(
+                "archive",
+                f"archive ref {ref_index} holds TID-marked records "
+                f"(archived chains must be fully stamped)",
+                page_id=pid,
+            )
+            continue
+        for version in page.versions:
+            if version.timestamp >= page.end_ts:
+                report.add(
+                    "archive",
+                    f"archive ref {ref_index} version at "
+                    f"{version.timestamp} lies past the page's end time "
+                    f"{page.end_ts}",
+                    page_id=pid,
+                )

@@ -878,12 +878,19 @@ class Table:
     # -- maintenance hooks (wired into the B-tree by the engine) -------------------------------------
 
     def iter_all_pages(self) -> Iterator[DataPage]:
-        """Every data page of the table: current leaves then their history."""
+        """Every *readable* data page: current leaves then their history.
+
+        A quarantined archive block ends that leaf's chain walk — the
+        damage itself is reported by the archive integrity checks.
+        """
         for leaf in self.btree.leaves():
             yield leaf
             pid = leaf.history_page_id
             while pid:
-                page = self.engine.buffer.get_page(pid)
+                try:
+                    page = self.engine.buffer.get_page(pid)
+                except PageQuarantinedError:
+                    break
                 assert isinstance(page, DataPage)
                 yield page
                 pid = page.history_page_id

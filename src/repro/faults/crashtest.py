@@ -80,6 +80,12 @@ class CrashTestConfig:
     # demand the run *completes* correctly, then corrupt a stored page and
     # demand the scrubber restores it byte-identically.
     media_faults: bool = False
+    # Archive mode (PR 7): cold-history tiering on, with a horizon short
+    # enough that checkpoints migrate pages mid-workload — adding
+    # archive.migrate.* / archive.read.* crossings so crashes land inside
+    # the migration protocol (between append/sync/relink/free) and during
+    # block materialization.
+    archive: bool = False
 
     def repro_args(self, crossing: int) -> str:
         parts = [f"--seed {self.seed}"]
@@ -97,6 +103,8 @@ class CrashTestConfig:
             parts.append(f"--eviction {self.eviction}")
         if self.flush_batch != CrashTestConfig.flush_batch:
             parts.append(f"--flush-batch {self.flush_batch}")
+        if self.archive:
+            parts.append("--archive")
         parts.append(f"--crash-point {crossing}")
         return " ".join(parts)
 
@@ -180,6 +188,14 @@ class ShadowOracle:
 
 def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
     """A fresh in-memory database with the harness table (not yet armed)."""
+    # A ~500 ms horizon (25 ticks) with the workload's 5-250 ms time
+    # advances guarantees checkpoints find cold pages to migrate, so the
+    # enumerate pass crosses every archive.migrate.* stage.
+    archive = (
+        {"cold_ms": 500.0, "pages_per_step": 4, "merge_threshold": 4,
+         "auto": True}
+        if config.archive else None
+    )
     if config.media_faults:
         db = ImmortalDB(
             disk=FaultyDisk(InMemoryDisk(), seed=config.seed),
@@ -191,6 +207,7 @@ def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
             io_retries=3,
             eviction=config.eviction,
             flush_batch=config.flush_batch,
+            archive=archive,
         )
     else:
         db = ImmortalDB(
@@ -199,6 +216,7 @@ def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
             asof_route_cache=config.route_cache,
             eviction=config.eviction,
             flush_batch=config.flush_batch,
+            archive=archive,
         )
     table = db.create_table(
         TABLE,
@@ -552,6 +570,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N", help="batched write-back size (0 = per-page flushes)",
     )
     parser.add_argument(
+        "--archive", action="store_true",
+        help="enable cold-history archive tiering with a short horizon so "
+             "checkpoints migrate pages mid-workload (adds archive.* "
+             "crossings to explore)",
+    )
+    parser.add_argument(
         "--media-faults", action="store_true",
         help="inject disk faults instead of crashing; verify self-healing "
              "(inline absorption + byte-identical scrubber repair)",
@@ -572,6 +596,7 @@ def main(argv: list[str] | None = None) -> int:
         eviction=args.eviction,
         flush_batch=args.flush_batch,
         media_faults=args.media_faults,
+        archive=args.archive,
     )
     replay = replay_media_point if config.media_faults else replay_crash_point
 

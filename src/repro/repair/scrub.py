@@ -105,6 +105,13 @@ class Scrubber:
             # next flush rewrites it wholesale.
             self.stats.pages_skipped_dirty += 1
             return []
+        free_list = getattr(engine.disk, "free_list", None)
+        if free_list is not None and pid in free_list:
+            # Archive migration zero-filled this page when it freed it; the
+            # staleness probe below would otherwise flag it as a lost
+            # sector (the log archive still holds its pre-migration
+            # records).
+            return []
         self.stats.pages_scanned += 1
         try:
             raw = engine.disk.read_page(pid)

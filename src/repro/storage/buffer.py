@@ -58,6 +58,7 @@ from repro.errors import (
     TransientIOError,
 )
 from repro.faults.failpoints import fire
+from repro.storage.constants import ARCHIVE_PID_BIT
 from repro.storage.disk import PageStore
 from repro.storage.page import Page, decode_page
 
@@ -400,6 +401,13 @@ class BufferPool:
         # repaired page (admitted as a clean frame) instead of letting the
         # error propagate.  Set by the media-recovery manager.
         self.fault_handler: Callable[[int, Exception], Page] | None = None
+        # Cold-history seam: page ids with ARCHIVE_PID_BIT set are archive
+        # references, not disk pages.  When an archive manager is attached
+        # it resolves them from the archive store; the returned pages never
+        # enter the frame table (they are immutable and must never be
+        # flushed), so every read path — as-of routing, history scans, the
+        # integrity walker — works unchanged on either tier.
+        self.archive_resolver: Callable[[int], Page] | None = None
         # Concurrent mode installs an RLock here; None (the default) keeps
         # the single-threaded fast path lock-free.  The engine latch already
         # serializes table operations — this mutex additionally covers
@@ -418,6 +426,8 @@ class BufferPool:
             return self._get_page_locked(page_id)
 
     def _get_page_locked(self, page_id: int) -> Page:
+        if page_id & ARCHIVE_PID_BIT and self.archive_resolver is not None:
+            return self.archive_resolver(page_id)
         frame = self._frames.get(page_id)
         if frame is not None:
             self.stats.hits += 1
@@ -716,6 +726,19 @@ class BufferPool:
         """Drop every cached page *without* flushing (simulates a crash)."""
         self._frames.clear()
         self._policy.clear()
+
+    def discard_page(self, page_id: int) -> None:
+        """Drop one cached page *without* flushing.
+
+        Used when archive migration frees a page: the frame's content has
+        moved to the archive store, so writing it back would resurrect the
+        image the free just reclaimed.
+        """
+        with self.mutex or _NO_MUTEX:
+            if page_id in self._frames:
+                del self._frames[page_id]
+                self._policy.on_remove(page_id)
+            self._staged.pop(page_id, None)
 
     # -- internals ----------------------------------------------------------------------
 

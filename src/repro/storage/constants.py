@@ -39,6 +39,17 @@ NO_PAGE = 0
 META_PAGE_ID = 0
 """Page id of the database metadata (boot) page."""
 
+ARCHIVE_PID_BIT = 1 << 31
+"""High bit of a 4-byte page id marking an **archive reference**.
+
+A ``history_page_id`` with this bit set does not name a page in the page
+store: the low 31 bits index the archive manager's ref table, which maps
+to (run id, block) in the append-only cold-history store.  The buffer
+pool routes such ids to its ``archive_resolver`` instead of the disk (see
+:mod:`repro.archive`).  Real page ids never reach this bit — it would
+take 2**31 pages (16 TB at 8 KB/page) in a simulation-scale store.
+"""
+
 
 class PageType(enum.IntEnum):
     """Discriminator byte stored in every page header."""

@@ -110,6 +110,7 @@ class DiskStats:
     sequential_reads: int = 0
     sequential_writes: int = 0
     allocations: int = 0
+    free_reuses: int = 0        # allocations served from the free list
     read_retries: int = 0       # transient read errors absorbed by retry
     write_retries: int = 0      # transient write errors absorbed by retry
     backoff_steps: int = 0      # abstract backoff units spent across retries
@@ -150,6 +151,10 @@ class PageStore:
         self.checksums = False   # opt-in: stamp on write, verify on read
         self.retry: RetryPolicy | None = None   # opt-in transient-error retry
         self.verify_writes = False   # opt-in: read back and compare each write
+        # Opt-in page reuse: the archive manager installs a PageFreeList
+        # here when cold-history tiering reclaims migrated pages; allocate()
+        # then prefers a reclaimed id over growing the store.
+        self.free_list = None
         self._last_read_pid = -2
         self._last_write_pid = -2
 
@@ -222,6 +227,11 @@ class PageStore:
 
     def allocate(self) -> int:
         self.stats.allocations += 1
+        if self.free_list is not None:
+            pid = self.free_list.pop()
+            if pid is not None:
+                self.stats.free_reuses += 1
+                return pid
         return self._allocate()
 
     @property

@@ -14,7 +14,7 @@ from repro.baselines.rdb_commitlist import (
     RdbCommitListTable,
 )
 from repro.clock import Timestamp
-from repro.errors import KeyNotFoundError
+from repro.errors import DuplicateKeyError, KeyNotFoundError
 
 
 class TestRdbCommitList:
@@ -199,5 +199,5 @@ class TestPostgresStyle:
     def test_duplicate_insert_rejected(self):
         table = PostgresStyleTable()
         table.insert(Timestamp(1, 0), "a", {"v": 1})
-        with pytest.raises(KeyNotFoundError):
+        with pytest.raises(DuplicateKeyError):
             table.insert(Timestamp(2, 0), "a", {"v": 2})
