@@ -59,16 +59,27 @@ Runs follow the lstore merge idiom (SNIPPETS.md #1): each step seals one
 level-0 run; when ``merge_threshold`` live runs accumulate at a level,
 their blocks are copied into one dense run at the next level and the refs
 are remapped — the store stays append-only, superseded runs simply stop
-being referenced.
+being referenced.  The dead bytes those merges (and stale manifests) leave
+behind are reclaimed by **compaction** (:meth:`ArchiveManager.compact`):
+the live records are rewritten into a fresh log that atomically replaces
+the old file, with ``archive.compact.*`` failpoints at every stage of the
+prepare/swap protocol.
 """
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.archive.delta import decode_block, encode_block
-from repro.archive.store import ArchiveStore, BlockMeta, RunMeta
+from repro.archive.store import (
+    RECORD_BLOCK,
+    RECORD_MANIFEST,
+    ArchiveStore,
+    BlockMeta,
+    RunMeta,
+)
 from repro.clock import TICK_MS, Timestamp
 from repro.errors import PageQuarantinedError
 from repro.faults.failpoints import fire
@@ -91,6 +102,12 @@ class ArchiveConfig:
     merge_threshold: int = 10   # live runs per level before a merge
     auto: bool = True           # run a step inside every checkpoint
     max_cached_pages: int = 128  # decoded-page LRU behind the resolver
+    # Compaction: the append-only store accumulates dead records (blocks
+    # superseded by merges, stale manifests).  When the dead fraction of
+    # the store reaches this ratio, ``step`` rewrites it down to the live
+    # records.  0.0 disables compaction entirely.
+    compact_ratio: float = 0.0
+    compact_min_bytes: int = 4096  # don't bother below this much dead weight
 
 
 @dataclass
@@ -103,6 +120,8 @@ class ArchiveStats:
     block_reads: int = 0
     merges: int = 0
     quarantined: int = 0
+    compactions: int = 0
+    bytes_reclaimed: int = 0
 
 
 class ArchiveManager:
@@ -371,6 +390,7 @@ class ArchiveManager:
             migrated += 1
         if migrated:
             self._maybe_merge()
+            self._maybe_compact()
             # Cached routes and page views may still name migrated pids.
             if self.engine.route_cache is not None:
                 self.engine.route_cache.clear()
@@ -431,6 +451,86 @@ class ArchiveManager:
             self.store.sync()
             self.stats.merges += 1
             level += 1
+
+    # -- compaction --------------------------------------------------------
+
+    @property
+    def dead_bytes(self) -> int:
+        """Store payload bytes no live run references (merge leftovers,
+        superseded manifests — everything :meth:`compact` would reclaim)."""
+        return max(0, self.store.appended_bytes - self.bytes_stored)
+
+    def _maybe_compact(self) -> None:
+        ratio = self.config.compact_ratio
+        if ratio <= 0.0:
+            return
+        total = self.store.appended_bytes
+        dead = self.dead_bytes
+        if total <= 0 or dead < self.config.compact_min_bytes:
+            return
+        if dead / total >= ratio:
+            self.compact()
+
+    def compact(self) -> int:
+        """Rewrite the store down to its live records; returns bytes freed.
+
+        Merges copy blocks forward and every migration appends a manifest
+        snapshot, so the append-only store accumulates records nothing
+        references.  Compaction rebuilds the whole log from the live block
+        set plus one fresh manifest, prepares it as a fsynced sidecar, and
+        atomically swaps it over the old file
+        (:meth:`~repro.archive.store.ArchiveStore.rewrite_commit`).
+
+        Crash-atomicity (each stage below has an ``archive.compact.*``
+        failpoint; the crashtest kills the process between any two):
+
+        * before the swap (``begin``/``write``/``sync``) — the live log is
+          untouched; a leftover sidecar is deleted on reopen.  Recovery
+          reads the old manifest; nothing moved.
+        * at/after the swap (``swap``/``done``) — the new log is complete
+          and durable (the sidecar was fsynced before ``os.replace``);
+          recovery reads the fresh manifest, whose remapped record indices
+          address the rewritten sequence.  Ref pids, run ids and block
+          payloads are all unchanged, so on-disk page links stay valid.
+        """
+        fire("archive.compact.begin")
+        # Anything still buffered must reach the old log first: the rewrite
+        # adopts only what it is given, and the caller's manifest/refs may
+        # describe those records.
+        self.store.sync()
+        before = self.store.appended_bytes
+        fire("archive.compact.write")
+        records: list[tuple[int, bytes]] = []
+        remap: dict[int, int] = {}  # old record index -> rewritten index
+        for rid in sorted(self.runs):
+            for meta in self.runs[rid].blocks:
+                remap[meta.record] = len(records)
+                records.append(
+                    (RECORD_BLOCK, self.store.read_block(meta.record))
+                )
+        doc = self._manifest_doc()
+        for run_doc in doc["runs"]:
+            for block_doc in run_doc["blocks"]:
+                block_doc[0] = remap[block_doc[0]]
+        records.append((
+            RECORD_MANIFEST,
+            json.dumps(doc, separators=(",", ":"), sort_keys=True).encode(),
+        ))
+        fire("archive.compact.sync")
+        self.store.rewrite_prepare(records)
+        fire("archive.compact.swap")
+        self.store.rewrite_commit(records)
+        # The swap is durable; adopt the rewritten indices in memory.
+        # (A crash from here on reloads the same mapping from the fresh
+        # manifest, so the in-memory and durable views agree either way.)
+        for rid in sorted(self.runs):
+            for meta in self.runs[rid].blocks:
+                meta.record = remap[meta.record]
+        reclaimed = max(0, before - self.store.appended_bytes)
+        self.stats.compactions += 1
+        self.stats.bytes_reclaimed += reclaimed
+        fire("archive.compact.done")
+        return reclaimed
 
     # -- crash / recovery --------------------------------------------------
 

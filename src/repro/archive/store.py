@@ -148,6 +148,11 @@ class ArchiveStore:
     # -- persistence -------------------------------------------------------
 
     def _open_file(self) -> None:
+        # A sidecar left behind means a compaction wrote its replacement
+        # log but crashed before the atomic swap: the live file is still
+        # the authority, the sidecar is garbage.
+        if os.path.exists(self.path + ".compact"):
+            os.remove(self.path + ".compact")
         if os.path.exists(self.path):
             with open(self.path, "rb") as fh:
                 data = fh.read()
@@ -198,6 +203,45 @@ class ArchiveStore:
     def crash(self) -> None:
         """Simulate power loss: drop the unsynced tail."""
         del self._records[self.durable_count :]
+
+    # -- compaction --------------------------------------------------------
+
+    def rewrite_prepare(self, records: list[tuple[int, bytes]]) -> None:
+        """Write the replacement log to a fsynced sidecar (file variant).
+
+        First half of compaction's two-phase swap: after this returns the
+        full replacement exists durably at ``path + ".compact"`` but the
+        live log is untouched — a crash here is invisible (the sidecar is
+        deleted on reopen).
+        """
+        if self._file is None:
+            return
+        with open(self.path + ".compact", "wb") as tmp:
+            for rtype, payload in records:
+                tmp.write(
+                    _FRAME.pack(rtype, len(payload), zlib.crc32(payload))
+                )
+                tmp.write(payload)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+
+    def rewrite_commit(self, records: list[tuple[int, bytes]]) -> None:
+        """Atomically adopt the prepared replacement log.
+
+        File variant: ``os.replace`` of the sidecar over the live file —
+        the filesystem guarantees readers see either the old log or the
+        new one, never a splice.  The in-memory variant swaps the record
+        list in one assignment, modelling the same atomicity.  Every
+        adopted record is durable (the sidecar was fsynced), so
+        ``durable_count`` covers the whole new sequence.
+        """
+        if self._file is not None:
+            self._file.close()
+            os.replace(self.path + ".compact", self.path)
+            self._file = open(self.path, "r+b")
+            self._file.seek(0, os.SEEK_END)
+        self._records = [(rtype, payload) for rtype, payload in records]
+        self.durable_count = len(self._records)
 
     # -- reading -----------------------------------------------------------
 

@@ -83,6 +83,18 @@ class CostModel:
     archive_migrate_page_ms: float = 0.0   # encode + append + relink one page
     archive_block_read_ms: float = 0.0     # fetch + decode one archive block
     archive_merge_ms: float = 0.0          # consolidate one level of runs
+    archive_compact_ms: float = 0.0        # rewrite + swap the archive store
+    # Service-layer counters (PR 8).  Zero-priced by default — the figure
+    # workloads run in-process, every service counter is zero there and
+    # fig5/fig6 stay byte-identical — but non-zero rates let a service
+    # study price per-request dispatch, admission rejections (the client's
+    # wasted round-trip), request-deadline expiries, disconnect aborts,
+    # and quarantine-degraded replies.
+    service_accept_ms: float = 0.0         # dispatch one admitted request
+    service_reject_ms: float = 0.0         # shed one request at admission
+    service_timeout_ms: float = 0.0        # one per-request deadline expiry
+    service_abort_ms: float = 0.0          # abort a bracket on disconnect
+    service_degraded_ms: float = 0.0       # assemble one degraded reply
 
     def simulated_ms(self, delta: dict) -> float:
         """Price a stats delta (see :meth:`ImmortalDB.stats`)."""
@@ -142,6 +154,14 @@ class CostModel:
             + delta.get("archive_pages_migrated", 0) * self.archive_migrate_page_ms
             + delta.get("archive_block_reads", 0) * self.archive_block_read_ms
             + delta.get("archive_merges", 0) * self.archive_merge_ms
+            + delta.get("archive_compactions", 0) * self.archive_compact_ms
+            + delta.get("service_accepts", 0) * self.service_accept_ms
+            + delta.get("service_rejects", 0) * self.service_reject_ms
+            + delta.get("service_timeouts", 0) * self.service_timeout_ms
+            + delta.get("service_aborted_on_disconnect", 0)
+            * self.service_abort_ms
+            + delta.get("service_degraded_replies", 0)
+            * self.service_degraded_ms
         )
 
 

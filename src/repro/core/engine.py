@@ -150,6 +150,10 @@ class ImmortalDB:
             self.repair = MediaRecoveryManager(self)
         self.snapshots = SnapshotRegistry()
         self.asof_stats = AsOfStats()
+        # A ServiceCore (repro.service) registers its counters here; the
+        # engine only reads them in stats(), so with no service attached
+        # every service_* counter is a literal zero.
+        self.service_stats = None
         # Optional historical-read accelerators.  Off by default: the plain
         # as-of path stays counter-for-counter identical to the original
         # implementation, which the figure benchmarks depend on.
@@ -697,6 +701,23 @@ class ImmortalDB:
             "archive_bytes_raw": self.archive.bytes_raw if self.archive else 0,
             "archive_bytes_stored":
                 self.archive.bytes_stored if self.archive else 0,
+            "archive_compactions":
+                self.archive.stats.compactions if self.archive else 0,
+            "archive_bytes_reclaimed":
+                self.archive.stats.bytes_reclaimed if self.archive else 0,
+            # Service layer (all zero without a network service attached).
+            "service_accepts":
+                self.service_stats.accepts if self.service_stats else 0,
+            "service_rejects":
+                self.service_stats.rejects if self.service_stats else 0,
+            "service_timeouts":
+                self.service_stats.timeouts if self.service_stats else 0,
+            "service_aborted_on_disconnect":
+                self.service_stats.aborted_on_disconnect
+                if self.service_stats else 0,
+            "service_degraded_replies":
+                self.service_stats.degraded_replies
+                if self.service_stats else 0,
             # Concurrent execution (all zero in single-threaded runs).
             "lock_waits": self.locks.stats.lock_waits,
             "lock_wait_ns": self.locks.stats.lock_wait_ns,

@@ -313,3 +313,58 @@ class SQLSyntaxError(SQLError):
 
 class SQLExecutionError(SQLError):
     """The statement parsed but could not be executed."""
+
+
+# ---------------------------------------------------------------------------
+# Service layer
+# ---------------------------------------------------------------------------
+
+class ServiceError(ImmortalDBError):
+    """Base class for network-service errors."""
+
+
+class ProtocolError(ServiceError):
+    """A wire message violated the protocol (bad frame, bad JSON, bad op)."""
+
+
+class TornFrameError(ProtocolError):
+    """A frame failed its length/CRC32 check; framing sync is lost.
+
+    The connection that produced it cannot be resynchronized (bytes after a
+    torn frame are garbage), so both peers close it.  A client retries the
+    request on a fresh connection; the server's idempotency cache makes the
+    retry safe for requests it had already executed.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected the request: the service is saturated.
+
+    Carries a ``retry_after_ms`` hint scaled by current load and the
+    ``shed_kind`` ("read" or "write") that was shed.  Reads are shed first —
+    they are cheap to retry and hold no locks — so in-flight writes keep
+    draining instead of collapsing under a thundering herd.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_ms: float = 50.0,
+        shed_kind: str = "read",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+        self.shed_kind = shed_kind
+
+
+class RequestTimeoutError(ServiceError):
+    """A request exceeded the service's per-request deadline."""
+
+
+class SessionStateError(ServiceError):
+    """The session cannot accept the request (closed, defunct, draining)."""
+
+
+class ConnectionLostError(ServiceError):
+    """The transport dropped mid-exchange (client side of a torn wire)."""

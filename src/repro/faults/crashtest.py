@@ -34,15 +34,21 @@ import argparse
 import random
 import sys
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.clock import Timestamp
 from repro.core.engine import ImmortalDB
+from repro.errors import ConnectionLostError
 from repro.core.integrity import IntegrityError, verify_integrity
 from repro.core.rowcodec import ColumnType
 from repro.core.table import Table
 from repro.faults.failpoints import FailpointRegistry, SimulatedCrash, installed
-from repro.faults.models import FAULT_KINDS, FaultyDisk
+from repro.faults.models import (
+    FAULT_KINDS,
+    NETWORK_FAULT_KINDS,
+    FaultyDisk,
+    FaultyWire,
+)
 from repro.repair.scrub import Scrubber
 from repro.storage.disk import InMemoryDisk
 
@@ -86,11 +92,28 @@ class CrashTestConfig:
     # the migration protocol (between append/sync/relink/free) and during
     # block materialization.
     archive: bool = False
+    # Service mode (PR 8): drive the workload through the sans-IO service
+    # core over the loopback wire (real framing, real sessions, real
+    # admission), so crashes land at the service.* seams too — between a
+    # commit and its client-visible ack, inside ingest batching, during a
+    # disconnect abort.  The oracle becomes strictly ack-based: only a
+    # response the client actually decoded counts as committed.
+    service: bool = False
+    # Service-fault mode: instead of crashing, arm one network fault
+    # (kind = crossing % 4: torn frame, dropped response, slow-loris,
+    # duplicate delivery) at the crossing; the client's retry discipline
+    # plus the server's idempotency cache must absorb it — the workload
+    # completes and matches the oracle *exactly*.
+    service_faults: bool = False
 
     def repro_args(self, crossing: int) -> str:
         parts = [f"--seed {self.seed}"]
         if self.media_faults:
             parts.append("--media-faults")
+        if self.service:
+            parts.append("--service")
+        if self.service_faults:
+            parts.append("--service-faults")
         if self.transactions != CrashTestConfig.transactions:
             parts.append(f"--transactions {self.transactions}")
         if self.keys != CrashTestConfig.keys:
@@ -191,9 +214,12 @@ def build_db(config: CrashTestConfig) -> tuple[ImmortalDB, Table]:
     # A ~500 ms horizon (25 ticks) with the workload's 5-250 ms time
     # advances guarantees checkpoints find cold pages to migrate, so the
     # enumerate pass crosses every archive.migrate.* stage.
+    # compact_ratio 0.2 with a tiny floor makes the store compact as soon
+    # as merges leave dead records behind, so the enumerate pass also
+    # crosses every archive.compact.* stage.
     archive = (
         {"cold_ms": 500.0, "pages_per_step": 4, "merge_threshold": 4,
-         "auto": True}
+         "auto": True, "compact_ratio": 0.2, "compact_min_bytes": 256}
         if config.archive else None
     )
     if config.media_faults:
@@ -463,6 +489,245 @@ def replay_media_point(config: CrashTestConfig, crossing: int) -> CrashReport:
     return report
 
 
+# ---------------------------------------------------------------------------
+# Service mode: the same contract, across a failure-prone wire
+# ---------------------------------------------------------------------------
+
+
+def _build_service(config: CrashTestConfig):
+    """A fresh engine fronted by a sans-IO service core over loopback."""
+    from repro.service.core import ServiceCore
+    from repro.service.transport import LoopbackConnection
+
+    db, table = build_db(config)
+    core = ServiceCore(db)   # inline execution: crashes propagate in-stack
+    wire = FaultyWire(seed=config.seed) if config.service_faults else None
+    conn = LoopbackConnection(
+        core, wire=wire, client_key=f"crash-s{config.seed}"
+    )
+    return db, table, core, conn, wire
+
+
+def run_service_workload(
+    db: ImmortalDB,
+    config: CrashTestConfig,
+    oracle: ShadowOracle,
+    conn,
+) -> None:
+    """The seeded workload, driven through the service protocol.
+
+    The oracle is strictly *ack-based*: a mutation counts as committed only
+    once the client has decoded an ``ok`` response — which, by the service's
+    durability gate, implies the commit record was forced.  A crash mid-
+    request leaves the mutation in ``pending`` (the one permitted
+    ambiguity).  Every ninth operation opens a transaction bracket, writes
+    a poison value, and drops the connection — the abort-on-disconnect
+    path; poison must never appear in any verified state.
+
+    As-of marks are ISO datetime strings (the protocol's temporal
+    currency): probed live through ``SELECT … AS OF`` over the wire, and
+    re-verified post-recovery through the engine, so wire and engine views
+    must agree before *and* after the crash.
+    """
+    rng = random.Random(config.seed)
+    observed: dict[int, bool] = {}
+    for i in range(config.transactions):
+        db.advance_time(rng.uniform(5.0, 250.0))
+        key = rng.randrange(config.keys)
+        live_keys = [k for k, alive in observed.items() if alive]
+        if i % 9 == 4 and live_keys:
+            # Mid-transaction disconnect: bracket, write poison, vanish.
+            # An injected network fault may kill the bracket before the
+            # deliberate drop does — same outcome (abort), so absorb it.
+            victim = live_keys[rng.randrange(len(live_keys))]
+            try:
+                conn.execute("BEGIN TRAN")
+                conn.execute(
+                    f"UPDATE {TABLE} SET v = 'poison{i}' WHERE k = {victim}"
+                )
+            except ConnectionLostError:
+                pass
+            conn.drop_connection()
+        delete = observed.get(key, False) and rng.random() < 0.2
+        value = None if delete \
+            else f"s{config.seed}i{i}" + "x" * rng.randrange(config.value_pad)
+        oracle.begin({key: value})
+        if value is None:
+            sql = f"DELETE FROM {TABLE} WHERE k = {key}"
+        elif observed.get(key, False):
+            sql = f"UPDATE {TABLE} SET v = '{value}' WHERE k = {key}"
+        else:
+            sql = f"INSERT INTO {TABLE} (k, v) VALUES ({key}, '{value}')"
+        response = conn.execute(sql)
+        if response.get("status") != "ok":
+            raise AssertionError(
+                f"service refused op {i}: {response!r}"
+            )
+        oracle.commit_observed()
+        observed[key] = value is not None
+        if i % config.mark_every == config.mark_every - 1:
+            db.flush_commits()
+            mark = db.clock.now_datetime().isoformat(sep=" ")
+            # Advance past the mark's tick so later commits sort after it.
+            db.clock.advance_ticks(1)
+            oracle.mark(mark)
+            probe = conn.execute(
+                f"SELECT k, v FROM {TABLE} AS OF '{mark}'"
+            )
+            if probe.get("status") != "ok":
+                raise AssertionError(f"as-of probe failed: {probe!r}")
+            live = {row["k"]: row["v"] for row in probe["rows"]}
+            if live != oracle.marks[-1][1]:
+                raise AssertionError(
+                    f"live wire as-of divergence at {mark}: "
+                    f"{live!r} != {oracle.marks[-1][1]!r}"
+                )
+        if i % config.checkpoint_every == config.checkpoint_every - 1:
+            db.checkpoint(flush=(i // config.checkpoint_every) % 2 == 0)
+
+
+def enumerate_service_crossings(config: CrashTestConfig) -> list[str]:
+    db, table, core, conn, wire = _build_service(config)
+    registry = FailpointRegistry()
+    registry.trace_on()
+    with installed(registry):
+        run_service_workload(db, config, ShadowOracle(), conn)
+    assert registry.trace is not None
+    return registry.trace
+
+
+def _verify_marks(report, db, table, oracle) -> None:
+    for mark, snapshot in oracle.marks:
+        ts = mark if isinstance(mark, Timestamp) else db.to_timestamp(mark)
+        as_of = {row["k"]: row["v"] for row in table.scan_as_of(ts)}
+        if as_of != snapshot:
+            report.problems.append(
+                f"as-of divergence at {mark}: recovered {as_of!r}, "
+                f"expected {snapshot!r}"
+            )
+
+
+def replay_service_point(config: CrashTestConfig, crossing: int) -> CrashReport:
+    """Crash at one crossing of the service-driven workload; verify.
+
+    The binding contract: every mutation the client saw acked must be in
+    the recovered state; the single un-acked in-flight mutation may be
+    present or absent (never half-applied); poison from dropped brackets
+    must be gone; every wire-probed as-of mark reproduces exactly.
+    """
+    if not config.service:
+        config = replace(config, service=True)
+    db, table, core, conn, wire = _build_service(config)
+    oracle = ShadowOracle()
+    registry = FailpointRegistry()
+    registry.crash_at(crossing)
+    crashed = False
+    name = "<workload end>"
+    try:
+        with installed(registry):
+            run_service_workload(db, config, oracle, conn)
+    except SimulatedCrash as crash:
+        crashed = True
+        name = crash.name
+    report = CrashReport(crossing=crossing, name=name, crashed=crashed)
+    if not crashed:
+        report.problems.append(
+            f"crossing {crossing} was never reached "
+            f"(workload has {registry.crossings} crossings)"
+        )
+        return report
+
+    db.crash()
+    db.recover()
+    table = db.table(TABLE)
+
+    try:
+        verify_integrity(db, strict=True)
+    except IntegrityError as exc:
+        report.problems.append(f"integrity: {exc}")
+
+    got = _current_state(db, table)
+    acceptable = oracle.acceptable_states()
+    if got not in acceptable:
+        report.problems.append(
+            f"current-state divergence: recovered {got!r}, "
+            f"acceptable {acceptable!r}"
+        )
+    for state in [got] + acceptable:
+        for value in state.values():
+            if isinstance(value, str) and value.startswith("poison"):
+                report.problems.append(
+                    f"dropped bracket leaked into state: {value!r}"
+                )
+    _verify_marks(report, db, table, oracle)
+    return report
+
+
+def replay_service_fault_point(
+    config: CrashTestConfig, crossing: int
+) -> CrashReport:
+    """Inject one network fault at a crossing; the protocol must absorb it.
+
+    Kind rotates with the crossing (torn frame, dropped response,
+    slow-loris, duplicate delivery).  Unlike crash mode there is no
+    ambiguity budget: the workload must complete, every ack stands, and
+    the final state must equal the oracle's committed model exactly —
+    proving retries are idempotent and lost responses are replayed from
+    the cache, not re-executed.
+    """
+    if not config.service_faults:
+        config = replace(config, service=True, service_faults=True)
+    db, table, core, conn, wire = _build_service(config)
+    oracle = ShadowOracle()
+    registry = FailpointRegistry()
+    kind = NETWORK_FAULT_KINDS[crossing % len(NETWORK_FAULT_KINDS)]
+    armed = [False]
+
+    def arm(event) -> None:
+        if event.crossing == crossing and not armed[0]:
+            armed[0] = True
+            wire.arm(kind)
+
+    registry.on("*", arm)
+    report = CrashReport(
+        crossing=crossing, name=f"{kind}@{crossing}", crashed=False
+    )
+    try:
+        with installed(registry):
+            run_service_workload(db, config, oracle, conn)
+            db.flush_commits()
+    except Exception as exc:  # noqa: BLE001 - any escape is a finding
+        report.problems.append(
+            f"service did not absorb injected {kind}: {exc!r}"
+        )
+        return report
+    if not armed[0]:
+        report.problems.append(
+            f"crossing {crossing} was never reached "
+            f"(workload has {registry.crossings} crossings)"
+        )
+        return report
+    report.crashed = True  # in fault mode: "the fault was armed"
+
+    assert oracle.pending is None
+    try:
+        verify_integrity(db, strict=True)
+    except IntegrityError as exc:
+        report.problems.append(f"integrity: {exc}")
+    got = _current_state(db, table)
+    if got != oracle.committed:
+        report.problems.append(
+            f"exactly-once violated: state {got!r} != acked {oracle.committed!r}"
+        )
+    for value in got.values():
+        if isinstance(value, str) and value.startswith("poison"):
+            report.problems.append(
+                f"dropped bracket leaked into state: {value!r}"
+            )
+    _verify_marks(report, db, table, oracle)
+    return report
+
+
 @dataclass
 class ExplorationResult:
     config: CrashTestConfig
@@ -538,6 +803,60 @@ def explore_media(
     )
 
 
+def explore_service(
+    config: CrashTestConfig,
+    *,
+    max_points: int = 0,
+    progress=None,
+) -> ExplorationResult:
+    """Crash-and-verify at each service crossing (or a sample)."""
+    names = enumerate_service_crossings(config)
+    indices = _sample(len(names), max_points)
+    failures: list[CrashReport] = []
+    by_name: Counter = Counter(names[i] for i in indices)
+    for n, crossing in enumerate(indices):
+        report = replay_service_point(config, crossing)
+        if not report.ok:
+            failures.append(report)
+        if progress is not None:
+            progress(n + 1, len(indices), report)
+    return ExplorationResult(
+        config=config,
+        total_crossings=len(names),
+        explored=indices,
+        failures=failures,
+        by_name=by_name,
+    )
+
+
+def explore_service_faults(
+    config: CrashTestConfig,
+    *,
+    max_points: int = 0,
+    progress=None,
+) -> ExplorationResult:
+    """Inject one network fault at each service crossing (or a sample)."""
+    names = enumerate_service_crossings(config)
+    indices = _sample(len(names), max_points)
+    failures: list[CrashReport] = []
+    by_name: Counter = Counter(
+        NETWORK_FAULT_KINDS[i % len(NETWORK_FAULT_KINDS)] for i in indices
+    )
+    for n, crossing in enumerate(indices):
+        report = replay_service_fault_point(config, crossing)
+        if not report.ok:
+            failures.append(report)
+        if progress is not None:
+            progress(n + 1, len(indices), report)
+    return ExplorationResult(
+        config=config,
+        total_crossings=len(names),
+        explored=indices,
+        failures=failures,
+        by_name=by_name,
+    )
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -581,6 +900,20 @@ def main(argv: list[str] | None = None) -> int:
              "(inline absorption + byte-identical scrubber repair)",
     )
     parser.add_argument(
+        "--service", action="store_true",
+        help="drive the workload through the SQL service protocol "
+             "(loopback transport) so service.* crossings are explored; "
+             "verification is ack-based: every client-acked commit must "
+             "survive the crash",
+    )
+    parser.add_argument(
+        "--service-faults", action="store_true",
+        help="service mode with one injected network fault per crossing "
+             "(torn frame, dropped response, slow-loris, duplicate "
+             "delivery); the workload must complete with exactly-once "
+             "effects",
+    )
+    parser.add_argument(
         "--max-points", type=int, default=0,
         help="explore at most N crossings, evenly sampled (0 = all)",
     )
@@ -597,8 +930,17 @@ def main(argv: list[str] | None = None) -> int:
         flush_batch=args.flush_batch,
         media_faults=args.media_faults,
         archive=args.archive,
+        service=args.service or args.service_faults,
+        service_faults=args.service_faults,
     )
-    replay = replay_media_point if config.media_faults else replay_crash_point
+    if config.service_faults:
+        replay = replay_service_fault_point
+    elif config.service:
+        replay = replay_service_point
+    elif config.media_faults:
+        replay = replay_media_point
+    else:
+        replay = replay_crash_point
 
     if args.crash_point is not None:
         report = replay(config, args.crash_point)
@@ -617,14 +959,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  explored {done}/{total} crash points "
                   f"({len(seen_failures)} failures)")
 
-    explorer = explore_media if config.media_faults else explore
+    if config.service_faults:
+        explorer = explore_service_faults
+    elif config.service:
+        explorer = explore_service
+    elif config.media_faults:
+        explorer = explore_media
+    else:
+        explorer = explore
     result = explorer(config, max_points=args.max_points, progress=progress)
 
-    mode = "fault points" if config.media_faults else "crash points"
+    faulty = config.media_faults or config.service_faults
+    mode = "fault points" if faulty else "crash points"
     print(f"seed {config.seed}: {result.total_crossings} crossings enumerated, "
           f"{len(result.explored)} {mode} explored")
     seams = Counter(name.split(".")[0] for name in result.by_name.elements())
-    label = "by fault" if config.media_faults else "by seam"
+    label = "by fault" if faulty else "by seam"
     print(f"  {label}: " + ", ".join(
         f"{seam}={count}" for seam, count in sorted(seams.items())
     ))

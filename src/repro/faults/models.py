@@ -168,6 +168,79 @@ class FaultyDisk(PageStore):
         self.inner.close()
 
 
+NETWORK_FAULT_KINDS = (
+    "torn_frame",        # a byte of the request frame flips in flight
+    "drop_response",     # request executes; the response never arrives
+    "slow_loris",        # the request frame dribbles in one byte at a time
+    "dup_deliver",       # the request frame is delivered twice
+)
+
+
+class FaultyWire:
+    """Network fault model for the service's framed protocol.
+
+    The transport asks it how to deliver each frame; armed one-shot faults
+    perturb exactly the next matching exchange (the crashtest arms one per
+    crossing), seeded probabilities support soak runs.  Mirrors
+    :class:`FaultyDisk`'s arming discipline so fault schedules replay
+    deterministically.
+
+    * ``torn_frame`` — flip one payload byte of the request in flight; the
+      receiver's frame CRC must catch it (a typed
+      :class:`~repro.errors.TornFrameError`, never a misparse) and the
+      connection must close, since framing sync is unrecoverable.
+    * ``drop_response`` — the server executes and replies, but the
+      connection dies before the response arrives (the classic ambiguous
+      ack); the client must retry with the same request id and the
+      server's idempotency cache must make that retry exactly-once.
+    * ``slow_loris`` — the request frame arrives one byte per feed; the
+      incremental decoder must reassemble it (servers additionally bound
+      this with idle/request timeouts).
+    * ``dup_deliver`` — the request frame is delivered twice back-to-back
+      (a retransmit race); the second delivery must dedup.
+    """
+
+    def __init__(self, *, seed: int = 0, fault_p: float = 0.0) -> None:
+        self.rng = random.Random(seed)
+        self.fault_p = fault_p
+        self._armed: deque[str] = deque()
+        self.injected: Counter[str] = Counter()
+
+    def arm(self, kind: str, count: int = 1) -> None:
+        if kind not in NETWORK_FAULT_KINDS:
+            raise ValueError(f"unknown network fault kind {kind!r}")
+        for _ in range(count):
+            self._armed.append(kind)
+
+    def disarm(self) -> None:
+        self._armed.clear()
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._armed)
+
+    def next_fault(self) -> str | None:
+        """The fault to apply to the next request exchange, if any."""
+        if self._armed:
+            kind = self._armed.popleft()
+            self.injected[kind] += 1
+            return kind
+        if self.fault_p and self.rng.random() < self.fault_p:
+            kind = NETWORK_FAULT_KINDS[
+                self.rng.randrange(len(NETWORK_FAULT_KINDS))
+            ]
+            self.injected[kind] += 1
+            return kind
+        return None
+
+    def corrupt(self, frame: bytes) -> bytes:
+        """Flip one bit somewhere in the frame (header or payload)."""
+        pos = self.rng.randrange(len(frame))
+        torn = bytearray(frame)
+        torn[pos] ^= 1 << self.rng.randrange(8)
+        return bytes(torn)
+
+
 def tear_log_tail(
     path: str | os.PathLike,
     *,

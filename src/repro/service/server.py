@@ -1,0 +1,281 @@
+"""The asyncio socket server over :class:`~repro.service.core.ServiceCore`.
+
+The event loop only shuffles bytes: frames are reassembled per connection,
+each request's execution is handed to a thread (so the engine's blocking
+locks and the worker pool's bounded queue apply their backpressure without
+stalling the loop), and the response is written back framed.
+
+Robustness behaviours, all typed and test-covered:
+
+* **per-request timeout** — ``asyncio.wait_for`` around execution; on
+  expiry the client gets a ``timeout`` response and the connection closes;
+  the still-running body sees the session marked defunct and aborts its
+  bracket the moment it completes.
+* **idle-session timeout** — a connection silent past ``idle_timeout_s``
+  gets a ``bye`` and its session is reaped (aborting any open bracket).
+* **disconnect** — EOF or reset mid-transaction aborts the transaction
+  and releases its locks (``service_aborted_on_disconnect`` counts these).
+* **torn frame** — a CRC-failed frame kills the connection (framing sync
+  is unrecoverable); the engine never sees the request.
+* **graceful drain** — :meth:`SQLService.shutdown` stops accepting,
+  rejects new work with a typed refusal, waits for in-flight requests up
+  to ``drain_timeout_s``, aborts leftover brackets, forces group commit,
+  and closes the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+
+from repro.errors import SessionStateError, TornFrameError
+from repro.faults.failpoints import fire
+from repro.service import protocol
+from repro.service.admission import AdmissionController
+from repro.service.core import ServiceCore
+from repro.workers.pool import WorkerPool
+
+
+class SQLService:
+    """An asyncio SQL server bound to one engine."""
+
+    def __init__(
+        self,
+        db,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_workers: int = 4,
+        queue_depth: int = 128,
+        max_inflight: int = 64,
+        read_shed_fraction: float = 0.75,
+        request_timeout_s: float = 30.0,
+        idle_timeout_s: float = 300.0,
+        drain_timeout_s: float = 10.0,
+        seed: int = 0,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port
+        self.pool = (
+            WorkerPool(db, pool_workers, seed=seed, queue_depth=queue_depth)
+            if pool_workers > 0 else None
+        )
+        if self.pool is None:
+            # No pool means bodies run directly on executor threads; the
+            # engine still needs its thread-safe flavour (blocking locks,
+            # latches) — the pool would otherwise have enabled it lazily.
+            db.enable_concurrency()
+        self.core = ServiceCore(
+            db,
+            self.pool,
+            admission=AdmissionController(
+                max_inflight=max_inflight,
+                read_shed_fraction=read_shed_fraction,
+            ),
+            retry_seed=seed,
+            retry_step_ms=0.2,
+        )
+        self.request_timeout_s = request_timeout_s
+        self.idle_timeout_s = idle_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        # Execution threads: sized past the admission budget so rejections
+        # are computed promptly even at full saturation (a rejection only
+        # borrows a thread for the admission check itself).
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_inflight * 2 + 8,
+            thread_name_prefix="svc-exec",
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish in-flight, force, close."""
+        self.core.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {t for t in self._conn_tasks if not t.done()}
+        if pending:
+            done, still_pending = await asyncio.wait(
+                pending, timeout=self.drain_timeout_s
+            )
+            for task in still_pending:
+                task.cancel()
+            if still_pending:
+                await asyncio.gather(*still_pending, return_exceptions=True)
+        # Abort whatever brackets the deadline stranded, force group
+        # commit so every acked write is durable, and stop the workers.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.core.finish_drain
+        )
+        if self.pool is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pool.close
+            )
+        self._executor.shutdown(wait=False)
+
+    # -- connections -----------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            session = self.core.open_session()
+        except SessionStateError as exc:
+            writer.write(protocol.encode_message(
+                protocol.bye_response(str(exc))
+            ))
+            await self._close_writer(writer)
+            return
+        decoder = protocol.FrameDecoder()
+        reason = "disconnect"
+        try:
+            while True:
+                try:
+                    data = await asyncio.wait_for(
+                        reader.read(65536), timeout=self.idle_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    reason = "idle"
+                    writer.write(protocol.encode_message(
+                        protocol.bye_response("idle timeout")
+                    ))
+                    break
+                if not data:
+                    break   # EOF: client hung up
+                fire("service.read_frame")
+                try:
+                    payloads = decoder.feed(data)
+                except TornFrameError:
+                    self.core.stats.torn_frames += 1
+                    reason = "torn frame"
+                    break
+                stop = False
+                for payload in payloads:
+                    response = await self._process(session, payload)
+                    fire("service.write_frame")
+                    writer.write(protocol.encode_message(response))
+                    await writer.drain()
+                    status = response.get("status")
+                    if status in (protocol.STATUS_BYE,
+                                  protocol.STATUS_TIMEOUT):
+                        reason = "request timeout" \
+                            if status == protocol.STATUS_TIMEOUT else "close"
+                        stop = True
+                        break
+                if stop:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            if not session.closed:
+                # Mid-execution disconnects defer the close to the worker
+                # (the session lock is held); idle/quiet ones close now.
+                self.core.on_disconnect(session, reason)
+            await self._close_writer(writer)
+
+    async def _process(self, session, payload: bytes) -> dict:
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor, self.core.handle_payload, session, payload
+        )
+        try:
+            return await asyncio.wait_for(future, self.request_timeout_s)
+        except asyncio.TimeoutError:
+            self.core.on_request_timeout(session, "request timeout")
+            try:
+                request_id = protocol.decode_message(payload).get("id")
+            except Exception:
+                request_id = None
+            return protocol.timeout_response(
+                request_id, deadline_ms=self.request_timeout_s * 1000.0
+            )
+
+    @staticmethod
+    async def _close_writer(writer) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+class ThreadedService:
+    """Run an :class:`SQLService` on a background thread (tests, benches).
+
+    ``with ThreadedService(db) as svc: connect to svc.port`` — the event
+    loop lives on the thread; :meth:`shutdown` performs the graceful drain
+    and joins it.
+    """
+
+    def __init__(self, db, **kwargs) -> None:
+        self.service = SQLService(db, **kwargs)
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="sql-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def core(self) -> ServiceCore:
+        return self.service.core
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.service.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.shutdown()
+
+    def begin_drain(self) -> None:
+        """Flip the service into drain mode without waiting for it."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.service.core.begin_drain)
+
+    def shutdown(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ThreadedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,193 @@
+"""Deterministic in-process transport: the wire without the sockets.
+
+:class:`LoopbackConnection` round-trips every request through the real
+byte protocol — encode, (optionally faulty) delivery, incremental decode,
+dispatch, response encode, client decode — with no threads and no event
+loop.  That makes it the crashtest's client: a
+:class:`~repro.faults.failpoints.SimulatedCrash` fired at any
+``service.*`` crossing propagates synchronously out of ``request()``, and
+a :class:`~repro.faults.models.FaultyWire` armed with one network fault
+perturbs exactly one exchange, deterministically.
+
+The client-side retry discipline is the production one: on a lost
+connection the request is resent *with the same request id* on a fresh
+session, after the seeded backoff schedule of
+:class:`~repro.storage.disk.RetryPolicy` — so the server's idempotency
+cache, not client caution, is what makes retries exactly-once.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConnectionLostError, TornFrameError
+from repro.faults.failpoints import fire
+from repro.service import protocol
+from repro.service.core import ServiceCore
+from repro.storage.disk import RetryPolicy
+
+
+class LoopbackConnection:
+    """A client and its server-side session, joined by an in-process wire."""
+
+    def __init__(
+        self,
+        core: ServiceCore,
+        *,
+        wire=None,
+        retry_policy: RetryPolicy | None = None,
+        retry_step_ms: float = 0.0,
+        client_key: str = "loopback",
+    ) -> None:
+        self.core = core
+        self.wire = wire
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=5)
+        self.retry_step_ms = retry_step_ms
+        # Deterministic ids: the crashtest replays the same id sequence at
+        # every crash point; distinct connections need distinct keys (the
+        # idempotency cache is keyed by request id alone).
+        self.client_key = client_key
+        self._next_id = 1
+        self._session = None
+        self.reconnects = 0
+        # True while this client believes a BEGIN...COMMIT bracket is open.
+        # A lost connection aborts the bracket server-side, so statements
+        # in flight then must NOT be retried (see request()).
+        self._bracket_open = False
+
+    # -- connection management ------------------------------------------------
+
+    @property
+    def session(self):
+        if self._session is None or self._session.closed:
+            self._session = self.core.open_session()
+        return self._session
+
+    def drop_connection(self, reason: str = "disconnect") -> None:
+        """Simulate the client vanishing (mid-bracket disconnects)."""
+        if self._session is not None and not self._session.closed:
+            self.core.on_disconnect(self._session, reason)
+        self._session = None
+        self._bracket_open = False
+
+    def close(self) -> None:
+        if self._session is not None and not self._session.closed:
+            self.core.close_session(self._session, "client close")
+        self._session = None
+
+    # -- requests --------------------------------------------------------------
+
+    def request(self, message: dict) -> dict:
+        """Send one request; retry through connection loss; return the reply.
+
+        Exception: while a transaction bracket is open, a lost connection
+        means the server aborted the bracket — retrying the statement on a
+        fresh session would run it *outside* the bracket (autocommit), so
+        the loss is surfaced to the caller instead, who must restart the
+        bracket from BEGIN.
+        """
+        message = dict(message)
+        message.setdefault("id", self._fresh_id())
+        last_exc: Exception | None = None
+        for attempt in range(1, self.retry_policy.max_attempts + 1):
+            if attempt > 1:
+                self.reconnects += 1
+                steps = self.retry_policy.backoff_steps(attempt - 1)
+                if self.retry_step_ms:
+                    time.sleep(steps * self.retry_step_ms / 1000.0)
+            # Captured BEFORE the attempt: the drop paths inside _exchange
+            # reset the flag, and a loss that happened while the bracket
+            # was open must not be retried regardless.
+            in_bracket = self._bracket_open
+            try:
+                response = self._exchange(message)
+            except ConnectionLostError as exc:
+                if in_bracket:
+                    self._bracket_open = False
+                    raise
+                last_exc = exc
+                continue
+            self._track_bracket(message, response)
+            return response
+        raise ConnectionLostError(
+            f"request {message['id']} still failing after "
+            f"{self.retry_policy.max_attempts} attempts"
+        ) from last_exc
+
+    def _track_bracket(self, message: dict, response: dict) -> None:
+        if message.get("op") != "sql" or response.get("status") != "ok":
+            return
+        head = str(message.get("sql", "")).lstrip().upper()
+        if head.startswith("BEGIN"):
+            self._bracket_open = True
+        elif head.startswith(("COMMIT", "ROLLBACK")):
+            self._bracket_open = False
+
+    def execute(self, sql: str) -> dict:
+        return self.request({"op": "sql", "sql": sql})
+
+    def ingest(self, table: str, csv_text: str, *, batch: int = 64) -> dict:
+        return self.request(
+            {"op": "ingest", "table": table, "csv": csv_text, "batch": batch}
+        )
+
+    def _fresh_id(self) -> str:
+        request_id = f"{self.client_key}:{self._next_id}"
+        self._next_id += 1
+        return request_id
+
+    # -- the wire ---------------------------------------------------------------
+
+    def _exchange(self, message: dict) -> dict:
+        session = self.session
+        frame = protocol.encode_message(message)
+        fault = self.wire.next_fault() if self.wire is not None else None
+
+        if fault == "torn_frame":
+            frame = self.wire.corrupt(frame)
+        deliveries = [frame, frame] if fault == "dup_deliver" else [frame]
+
+        decoder = protocol.FrameDecoder()
+        payloads: list[bytes] = []
+        try:
+            for delivered in deliveries:
+                if fault == "slow_loris":
+                    for i in range(len(delivered)):
+                        payloads.extend(decoder.feed(delivered[i:i + 1]))
+                else:
+                    payloads.extend(decoder.feed(delivered))
+        except TornFrameError:
+            # Framing sync is lost: both sides hang up.  The server never
+            # saw the request, so the retry is trivially safe.
+            self.core.stats.torn_frames += 1
+            self.drop_connection("torn frame")
+            raise ConnectionLostError("frame torn in flight") from None
+        if not payloads:
+            # The tear landed in the length header: the server just waits
+            # for bytes that never come.  Its idle timeout would reap the
+            # session; the client gives up and redials.
+            self.drop_connection("stalled frame")
+            raise ConnectionLostError("request frame never completed")
+
+        responses = []
+        for payload in payloads:
+            fire("service.read_frame")
+            response = self.core.handle_payload(session, payload)
+            fire("service.write_frame")
+            responses.append(self._roundtrip(response))
+
+        if fault == "drop_response":
+            # The response(s) were computed and sent, but the connection
+            # died first — the ambiguous-ack case.  The retry (same id)
+            # must hit the idempotency cache, not execute again.
+            self.drop_connection("response lost")
+            raise ConnectionLostError("connection died before the response")
+        return responses[0]
+
+    @staticmethod
+    def _roundtrip(response: dict) -> dict:
+        """Encode + decode the response, exercising the real codec."""
+        decoder = protocol.FrameDecoder()
+        payloads = decoder.feed(protocol.encode_message(response))
+        assert len(payloads) == 1
+        return protocol.decode_message(payloads[0])

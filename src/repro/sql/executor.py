@@ -22,6 +22,7 @@ from repro.core.engine import ImmortalDB
 from repro.core.rowcodec import ColumnType
 from repro.core.table import Table
 from repro.errors import SQLExecutionError
+from repro.repair.quarantine import Degraded
 from repro.sql import ast
 from repro.sql.parser import parse_script, parse_statement
 
@@ -65,11 +66,19 @@ def parse_sql_datetime(text: str) -> _dt.datetime:
 
 @dataclass
 class Result:
-    """Outcome of one statement."""
+    """Outcome of one statement.
+
+    ``degraded`` lists the quarantine-degraded reads the statement hit
+    (:class:`~repro.repair.quarantine.Degraded` markers): the rows that
+    *were* readable are still in ``rows``, and the service layer surfaces
+    a non-empty list as a ``degraded`` protocol status rather than an
+    error — partial answers beat refusals while a page awaits repair.
+    """
 
     rows: list[dict] = field(default_factory=list)
     rowcount: int = 0
     message: str = ""
+    degraded: list = field(default_factory=list)
 
 
 def _evaluate(expr: ast.Expr | None, row: dict) -> bool:
@@ -298,12 +307,21 @@ class Session:
         return Result(rowcount=count, message=f"INSERT {count}")
 
     def _matching_keys(
-        self, txn: Transaction, table: Table, where: ast.Expr | None
+        self,
+        txn: Transaction,
+        table: Table,
+        where: ast.Expr | None,
+        degraded: list,
     ) -> list:
         key_column = table.codec.key_column
         pinned = _key_equality(where, key_column)
         if pinned is not None:
             row = table.read(txn, pinned)
+            if isinstance(row, Degraded):
+                # The page is quarantined: we cannot prove the predicate,
+                # so the key is not matched (and the caller reports it).
+                degraded.append(row)
+                return []
             if row is not None and _evaluate(where, row):
                 return [pinned]
             return []
@@ -312,26 +330,33 @@ class Session:
             candidates = table.scan_range_iter(txn, low, high)
         else:
             candidates = table.scan_iter(txn)
-        return [
-            row[key_column]
-            for row in candidates
-            if _evaluate(where, row)
-        ]
+        keys = []
+        for row in candidates:
+            if isinstance(row, Degraded):
+                degraded.append(row)
+                continue
+            if _evaluate(where, row):
+                keys.append(row[key_column])
+        return keys
 
     def _update(self, txn: Transaction, stmt: ast.Update) -> Result:
         table = self._table(stmt.table)
         updates = dict(stmt.assignments)
-        keys = self._matching_keys(txn, table, stmt.where)
+        degraded: list = []
+        keys = self._matching_keys(txn, table, stmt.where, degraded)
         for key in keys:
             table.update(txn, key, updates)
-        return Result(rowcount=len(keys), message=f"UPDATE {len(keys)}")
+        return Result(rowcount=len(keys), message=f"UPDATE {len(keys)}",
+                      degraded=degraded)
 
     def _delete(self, txn: Transaction, stmt: ast.Delete) -> Result:
         table = self._table(stmt.table)
-        keys = self._matching_keys(txn, table, stmt.where)
+        degraded: list = []
+        keys = self._matching_keys(txn, table, stmt.where, degraded)
         for key in keys:
             table.delete(txn, key)
-        return Result(rowcount=len(keys), message=f"DELETE {len(keys)}")
+        return Result(rowcount=len(keys), message=f"DELETE {len(keys)}",
+                      degraded=degraded)
 
     # -- queries -----------------------------------------------------------------------------
 
@@ -371,8 +396,9 @@ class Session:
         )
 
         def body(txn: Transaction) -> Result:
-            rows = self._select_rows(txn, table, stmt, inline_as_of)
-            return Result(rows=rows, rowcount=len(rows))
+            degraded: list = []
+            rows = self._select_rows(txn, table, stmt, inline_as_of, degraded)
+            return Result(rows=rows, rowcount=len(rows), degraded=degraded)
 
         return self._run(body)
 
@@ -382,6 +408,7 @@ class Session:
         table: Table,
         stmt: ast.Select,
         inline_as_of: Timestamp | None,
+        degraded: list,
     ) -> list[dict]:
         key_column = table.codec.key_column
         pinned = _key_equality(stmt.where, key_column)
@@ -400,7 +427,14 @@ class Session:
                 candidates = table.scan_range_iter(txn, low, high)
             else:
                 candidates = table.scan_iter(txn)
-        filtered = (row for row in candidates if _evaluate(stmt.where, row))
+
+        def keep(row) -> bool:
+            if isinstance(row, Degraded):
+                degraded.append(row)
+                return False
+            return _evaluate(stmt.where, row)
+
+        filtered = (row for row in candidates if keep(row))
         if stmt.order_by is not None:
             # ORDER BY is a pipeline breaker: materialize, sort, then LIMIT.
             rows = sorted(

@@ -105,6 +105,7 @@ class _Task:
     future: TxnFuture
     rng: random.Random
     mode: TxnMode | None = None
+    raw: bool = False   # call fn() directly: no txn bracket, no retry
 
 
 _STOP = _Task(fn=lambda txn: None, future=TxnFuture(), rng=random.Random())
@@ -193,6 +194,25 @@ class WorkerPool:
     def map(self, fns) -> list[TxnFuture]:
         return [self.submit(fn) for fn in fns]
 
+    def submit_call(self, fn: Callable[[], object]) -> TxnFuture:
+        """Queue a raw ``fn()`` call (no transaction bracket, no retry).
+
+        The service layer routes session-bracketed statements through this:
+        the body manages its own transaction state (a SQL session's open
+        bracket spans many requests), so the pool must not wrap or rerun
+        it — but the call still flows through the bounded admission queue
+        and still participates in the last-active-worker flush policy.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        future = TxnFuture()
+        with self._mu:
+            self._seq += 1
+            self.stats.submitted += 1
+        task = _Task(fn=fn, future=future, rng=random.Random(), raw=True)
+        self._queue.put(task)
+        return future
+
     # -- lifecycle ------------------------------------------------------------
 
     def join(self) -> None:
@@ -245,6 +265,15 @@ class WorkerPool:
         with self._mu:
             self._in_flight += 1
         future = task.future
+        if task.raw:
+            try:
+                future.result_value = task.fn()
+            except BaseException as exc:
+                future.exception = exc
+                self.stats.failed += 1
+            future._durable.set()   # durability is the caller's contract
+            future._completed.set()
+            return
         last_error: Exception | None = None
         for attempt in range(self.max_retries + 1):
             if attempt:

@@ -318,6 +318,117 @@ class TestFileBackedArchive:
 
 
 # ---------------------------------------------------------------------------
+# compaction
+# ---------------------------------------------------------------------------
+
+
+class TestCompaction:
+    def test_compact_reclaims_dead_bytes_invisibly(self):
+        db, table, marks = _build(rounds=40)
+        db.archive.config.pages_per_step = 2   # many small runs -> merges
+        db.archive.config.merge_threshold = 4
+        db.archive.drain()
+        assert db.archive.stats.merges > 0
+        before_bytes = db.archive.store.appended_bytes
+        before_answers = _answers(db, table, marks)
+        reclaimed = db.archive.compact()
+        assert reclaimed > 0
+        assert db.archive.store.appended_bytes < before_bytes
+        # Merge leftovers and stale manifests are gone; live blocks plus
+        # exactly one fresh manifest remain.
+        assert db.archive.dead_bytes < before_bytes - db.archive.bytes_stored
+        assert db.archive.store.record_count == len(db.archive.refs) + 1
+        # Every ref still resolves and every answer is unchanged.
+        for pid in _archived_ref_pids(db):
+            assert isinstance(db.archive.materialize(pid), DataPage)
+        assert _answers(db, table, marks) == before_answers
+        assert verify_integrity(db) == []
+        s = db.stats()
+        assert s["archive_compactions"] == 1
+        assert s["archive_bytes_reclaimed"] == reclaimed
+        db.close()
+
+    def test_compact_ratio_triggers_from_step(self):
+        db, table, marks = _build(rounds=40)
+        db.archive.config.pages_per_step = 2
+        db.archive.config.merge_threshold = 4
+        db.archive.config.compact_ratio = 0.2
+        db.archive.config.compact_min_bytes = 256
+        db.archive.drain()
+        assert db.archive.stats.compactions > 0
+        assert db.archive.stats.bytes_reclaimed > 0
+        assert verify_integrity(db) == []
+        db.close()
+
+    def test_compact_survives_crash_recovery(self):
+        """The fresh manifest alone must reconstruct the archive."""
+        db, table, marks = _build()
+        db.archive.drain()
+        db.archive.compact()
+        before = _answers(db, table, marks)
+        db.crash()
+        db.recover()
+        assert _answers(db, db.table("hist"), marks) == before
+        assert verify_integrity(db) == []
+        db.close()
+
+    def test_file_backed_compact_swaps_atomically(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "db.pages")
+        db = ImmortalDB(path=path, archive=dict(ARCHIVE_FAST))
+        table = db.create_table(
+            "hist", [("k", ColumnType.INT), ("v", ColumnType.TEXT)],
+            key="k", immortal=True,
+        )
+        marks = []
+        for r in range(25):
+            for k in range(6):
+                with db.transaction() as txn:
+                    if r == 0:
+                        table.insert(txn, {"k": k, "v": f"{'p' * 500}:{r}"})
+                    else:
+                        table.update(txn, k, {"v": f"{'p' * 500}:{r}:{k}"})
+            db.advance_time(60)
+            marks.append(db.now())
+        db.checkpoint(flush=True)
+        db.archive.config.pages_per_step = 2
+        db.archive.config.merge_threshold = 4
+        db.archive.drain()
+        before = _answers(db, table, marks, keys=6)
+        store_path = path + ".archive"
+        size_before = os.path.getsize(store_path)
+        assert db.archive.compact() > 0
+        assert os.path.getsize(store_path) < size_before
+        assert not os.path.exists(store_path + ".compact")
+        tick = db.clock.tick
+        db.close()
+
+        db2 = ImmortalDB(path=path, archive=dict(ARCHIVE_FAST))
+        db2.clock.advance_ms((tick + 1) * 20)
+        assert _answers(db2, db2.table("hist"), marks, keys=6) == before
+        assert verify_integrity(db2) == []
+        db2.close()
+
+    def test_stale_sidecar_ignored_on_reopen(self, tmp_path):
+        """A compaction that died before the swap leaves only garbage."""
+        import os
+
+        path = str(tmp_path / "store.archive")
+        store = ArchiveStore(path)
+        store.append_block(b"live block payload")
+        store.sync()
+        store.close()
+        with open(path + ".compact", "wb") as fh:
+            fh.write(b"half-written replacement from a dead compaction")
+        reopened = ArchiveStore(path)
+        assert not os.path.exists(path + ".compact")
+        assert reopened.record_count == 1
+        assert reopened.read_block(0) == b"live block payload"
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
 # crash-during-migration sweep
 # ---------------------------------------------------------------------------
 
@@ -335,6 +446,13 @@ class TestCrashDuringMigration:
         assert crossings, "workload never reached the archive seams"
         stages = {names[i].rsplit(".", 1)[-1] for i in crossings}
         assert {"select", "append", "sync", "relink", "free"} <= stages
+        # The crashtest archive config sets compact_ratio, so the sweep
+        # also kills the process inside the compaction protocol.
+        compact_stages = {
+            names[i].rsplit(".", 1)[-1]
+            for i in crossings if names[i].startswith("archive.compact.")
+        }
+        assert {"begin", "write", "sync", "swap", "done"} <= compact_stages
         failures = []
         for crossing in crossings:
             report = replay_crash_point(config, crossing)

@@ -1,0 +1,486 @@
+"""Service layer: protocol, admission, sessions, faults, and the server.
+
+The robustness contract under test: every failure a network can produce —
+overload, torn frames, dropped responses, duplicate deliveries, dead
+clients, slow clients, drains — must surface as a *typed* outcome, never
+a stuck lock, a double execution, or a lost acked commit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.engine import ImmortalDB
+from repro.core.rowcodec import ColumnType
+from repro.errors import (
+    ConnectionLostError,
+    ServiceOverloadedError,
+    SessionStateError,
+    TornFrameError,
+)
+from repro.faults.models import NETWORK_FAULT_KINDS, FaultyWire
+from repro.service import protocol
+from repro.service.admission import AdmissionController
+from repro.service.client import ServiceClient
+from repro.service.core import ServiceCore, classify_statement
+from repro.service.server import ThreadedService
+from repro.service.transport import LoopbackConnection
+
+
+def _make_db() -> ImmortalDB:
+    db = ImmortalDB(buffer_pages=64, group_commit_window=4)
+    db.create_table(
+        "t", [("k", ColumnType.INT), ("v", ColumnType.TEXT)],
+        key="k", immortal=True,
+    )
+    return db
+
+
+def _core(db=None, **kwargs) -> ServiceCore:
+    return ServiceCore(db or _make_db(), **kwargs)
+
+
+def _rows(response: dict) -> list:
+    assert response["status"] == protocol.STATUS_OK, response
+    return response.get("rows") or []
+
+
+def _value(conn, k: int):
+    rows = _rows(conn.execute(f"SELECT v FROM t WHERE k = {k}"))
+    return rows[0]["v"] if rows else None
+
+
+def _wait_until(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        message = {"id": "c1:1", "op": "sql", "sql": "SELECT 1"}
+        decoder = protocol.FrameDecoder()
+        payloads = decoder.feed(protocol.encode_message(message))
+        assert [protocol.decode_message(p) for p in payloads] == [message]
+
+    def test_incremental_byte_at_a_time(self):
+        frame = protocol.encode_message({"op": "ping"})
+        decoder = protocol.FrameDecoder()
+        collected = []
+        for i in range(len(frame)):
+            collected.extend(decoder.feed(frame[i:i + 1]))
+        assert len(collected) == 1
+        assert decoder.pending_bytes == 0
+
+    def test_corrupt_byte_is_a_typed_tear(self):
+        frame = bytearray(protocol.encode_message({"op": "ping"}))
+        frame[-1] ^= 0x40
+        with pytest.raises(TornFrameError):
+            protocol.FrameDecoder().feed(bytes(frame))
+
+    def test_absurd_length_is_a_typed_tear(self):
+        bad = (protocol.MAX_FRAME + 1).to_bytes(4, "big") + b"\0" * 8
+        with pytest.raises(TornFrameError):
+            protocol.FrameDecoder().feed(bad)
+
+    def test_classify_statement(self):
+        assert classify_statement("  select * from t") == "read"
+        assert classify_statement("UPDATE t SET v='x' WHERE k=1") == "write"
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_reads_shed_before_writes_deterministically(self):
+        ctl = AdmissionController(max_inflight=4, read_shed_fraction=0.75)
+        for _ in range(3):
+            ctl.try_admit("write")
+        # Read high-water is 3 of 4: the next read sheds, a write fits.
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            ctl.try_admit("read")
+        assert excinfo.value.shed_kind == "read"
+        assert excinfo.value.retry_after_ms > 0
+        ctl.try_admit("write")
+        with pytest.raises(ServiceOverloadedError):
+            ctl.try_admit("write")
+        ctl.release()
+        ctl.try_admit("write")   # a freed slot re-admits
+        assert ctl.stats.rejected_reads == 1
+        assert ctl.stats.rejected_writes == 1
+        assert ctl.stats.peak_inflight == 4
+
+    def test_retry_hint_scales_with_saturation(self):
+        ctl = AdmissionController(max_inflight=2, retry_after_ms=50.0)
+        empty_hint = ctl._hint_ms()
+        ctl.try_admit("write")
+        ctl.try_admit("write")
+        assert ctl._hint_ms() > empty_hint
+
+    def test_drain_rejects_everything(self):
+        ctl = AdmissionController(max_inflight=8)
+        ctl.begin_drain()
+        with pytest.raises(ServiceOverloadedError):
+            ctl.try_admit("write")
+        assert ctl.stats.rejected_draining == 1
+
+
+class TestOverloadResponses:
+    def test_saturated_core_returns_typed_overload(self):
+        core = _core(admission=AdmissionController(
+            max_inflight=2, read_shed_fraction=0.5
+        ))
+        conn = LoopbackConnection(core)
+        # Occupy one slot by hand: reads (limit 1) shed, writes (limit 2)
+        # still drain — the read-first policy, observable on the wire.
+        core.admission.try_admit("write")
+        shed = conn.execute("SELECT * FROM t WHERE k = 1")
+        assert shed["status"] == protocol.STATUS_OVERLOADED
+        assert shed["retryable"] is True
+        assert shed["shed_kind"] == "read"
+        assert shed["retry_after_ms"] > 0
+        ok = conn.execute("INSERT INTO t (k, v) VALUES (1, 'w')")
+        assert ok["status"] == protocol.STATUS_OK
+        assert core.db.stats()["service_rejects"] == 1
+        core.admission.release()
+
+    def test_rejected_request_id_can_be_retried(self):
+        core = _core(admission=AdmissionController(max_inflight=1))
+        conn = LoopbackConnection(core)
+        core.admission.try_admit("write")
+        message = {"id": "rt:1", "op": "sql",
+                   "sql": "INSERT INTO t (k, v) VALUES (5, 'x')"}
+        assert conn.request(dict(message))["status"] == \
+            protocol.STATUS_OVERLOADED
+        core.admission.release()
+        # Same id after the shed: re-admitted and executed, not replayed
+        # from the idempotency cache as a stale rejection.
+        assert conn.request(dict(message))["status"] == protocol.STATUS_OK
+        assert _value(conn, 5) == "x"
+
+    def test_bracket_continuations_bypass_admission(self):
+        core = _core(admission=AdmissionController(max_inflight=1))
+        conn = LoopbackConnection(core)
+        assert conn.execute(
+            "INSERT INTO t (k, v) VALUES (1, 'a')"
+        )["status"] == protocol.STATUS_OK
+        assert conn.execute("BEGIN TRAN")["status"] == protocol.STATUS_OK
+        core.admission.try_admit("write")   # saturate mid-bracket
+        try:
+            # Shedding these would strand the bracket's locks.
+            update = conn.execute("UPDATE t SET v = 'b' WHERE k = 1")
+            assert update["status"] == protocol.STATUS_OK
+            assert conn.execute("COMMIT")["status"] == protocol.STATUS_OK
+        finally:
+            core.admission.release()
+        assert _value(conn, 1) == "b"
+
+
+# ---------------------------------------------------------------------------
+# idempotency
+# ---------------------------------------------------------------------------
+
+
+class TestIdempotency:
+    def test_duplicate_id_replays_cached_response(self):
+        core = _core()
+        conn = LoopbackConnection(core)
+        message = {"id": "dup:1", "op": "sql",
+                   "sql": "INSERT INTO t (k, v) VALUES (1, 'once')"}
+        first = core.handle_message(conn.session, dict(message))
+        second = core.handle_message(conn.session, dict(message))
+        assert first == second
+        assert core.stats.duplicate_hits == 1
+        # Executed once: a second execution would be a duplicate-key error.
+        assert _value(conn, 1) == "once"
+
+    def test_in_bracket_statements_are_never_cached(self):
+        core = _core()
+        conn = LoopbackConnection(core)
+        conn.execute("INSERT INTO t (k, v) VALUES (1, 'a')")
+        conn.execute("BEGIN TRAN")
+        message = {"id": "brk:1", "op": "sql",
+                   "sql": "SELECT v FROM t WHERE k = 1"}
+        core.handle_message(conn.session, dict(message))
+        core.handle_message(conn.session, dict(message))
+        # Both executed live: bracket-scoped outcomes die with the session,
+        # so caching them would lie to a cross-session retry.
+        assert core.stats.duplicate_hits == 0
+        conn.execute("ROLLBACK")
+
+    def test_error_responses_are_not_cached(self):
+        core = _core()
+        conn = LoopbackConnection(core)
+        message = {"id": "err:1", "op": "sql",
+                   "sql": "SELECT * FROM missing_table"}
+        first = core.handle_message(conn.session, dict(message))
+        assert first["status"] == protocol.STATUS_ERROR
+        conn.execute("CREATE IMMORTAL TABLE missing_table "
+                     "(k INT PRIMARY KEY, v TEXT)")
+        retry = core.handle_message(conn.session, dict(message))
+        assert retry["status"] == protocol.STATUS_OK
+
+
+# ---------------------------------------------------------------------------
+# session lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSessionLifecycle:
+    def test_mid_transaction_disconnect_releases_locks(self):
+        core = _core()
+        victim = LoopbackConnection(core, client_key="victim")
+        other = LoopbackConnection(core, client_key="other")
+        victim.execute("INSERT INTO t (k, v) VALUES (1, 'base')")
+        victim.execute("BEGIN TRAN")
+        victim.execute("UPDATE t SET v = 'stranded' WHERE k = 1")
+        victim.drop_connection()
+        # The abort released the row lock: the other session writes
+        # immediately instead of deadlocking against a dead client.
+        ok = other.execute("UPDATE t SET v = 'alive' WHERE k = 1")
+        assert ok["status"] == protocol.STATUS_OK
+        assert _value(other, 1) == "alive"
+        stats = core.db.stats()
+        assert stats["service_aborted_on_disconnect"] == 1
+
+    def test_disconnect_during_execution_defers_to_worker(self):
+        core = _core()
+        conn = LoopbackConnection(core)
+        session = conn.session
+        session.lock.acquire()    # a request body is "executing"
+        try:
+            core.on_disconnect(session, "reset")
+            assert session.defunct and not session.closed
+        finally:
+            session.lock.release()
+        # The worker finishing its request observes the flag and retires
+        # the session (handle_message's defunct check).
+        core.handle_message(session, {"id": "d:1", "op": "ping"})
+        assert session.closed
+        assert core.db.stats()["service_aborted_on_disconnect"] == 0
+
+    def test_close_session_is_idempotent(self):
+        core = _core()
+        conn = LoopbackConnection(core)
+        session = conn.session
+        core.close_session(session, "disconnect")
+        core.close_session(session, "disconnect")
+        assert core.stats.sessions_closed == 2
+        assert core.stats.aborted_on_disconnect == 0
+
+    def test_reap_idle_aborts_stale_brackets(self):
+        clock = [0.0]
+        core = _core(now=lambda: clock[0])
+        conn = LoopbackConnection(core)
+        conn.execute("INSERT INTO t (k, v) VALUES (1, 'x')")
+        conn.execute("BEGIN TRAN")
+        conn.execute("UPDATE t SET v = 'stale' WHERE k = 1")
+        stale_id = conn.session.id
+        clock[0] += 10.0
+        fresh = LoopbackConnection(core, client_key="fresh")
+        fresh.execute("SELECT * FROM t WHERE k = 1")
+        victims = core.reap_idle(5.0)
+        assert [v.id for v in victims] == [stale_id]
+        assert core.stats.idle_closes == 1
+        assert core.stats.aborted_on_disconnect == 1
+        # The reaped bracket's lock is free again.
+        ok = fresh.execute("UPDATE t SET v = 'fresh' WHERE k = 1")
+        assert ok["status"] == protocol.STATUS_OK
+
+    def test_drain_refuses_new_sessions_and_new_work(self):
+        core = _core()
+        conn = LoopbackConnection(core)
+        conn.execute("INSERT INTO t (k, v) VALUES (1, 'pre')")
+        core.begin_drain()
+        shed = conn.execute("INSERT INTO t (k, v) VALUES (2, 'post')")
+        assert shed["status"] == protocol.STATUS_OVERLOADED
+        with pytest.raises(SessionStateError):
+            core.open_session()
+        core.finish_drain()
+        assert core.db.txn_mgr.unacked_commits == 0
+
+
+# ---------------------------------------------------------------------------
+# network faults through the loopback wire
+# ---------------------------------------------------------------------------
+
+
+class TestNetworkFaults:
+    @pytest.mark.parametrize("kind", NETWORK_FAULT_KINDS)
+    def test_each_fault_kind_is_exactly_once(self, kind):
+        core = _core()
+        wire = FaultyWire(seed=7)
+        conn = LoopbackConnection(core, wire=wire, client_key=f"nf-{kind}")
+        conn.execute("INSERT INTO t (k, v) VALUES (1, 'seed')")
+        wire.arm(kind)
+        response = conn.execute("UPDATE t SET v = 'faulted' WHERE k = 1")
+        assert response["status"] == protocol.STATUS_OK
+        assert wire.injected[kind] == 1
+        # Exactly-once: the row moved to the new value, history grew by
+        # exactly one version despite the duplicate/retry.
+        assert _value(conn, 1) == "faulted"
+        history = _rows(conn.execute("SELECT HISTORY OF t WHERE k = 1"))
+        assert len(history) == 2
+
+    def test_mid_bracket_connection_loss_is_surfaced_not_retried(self):
+        core = _core()
+        wire = FaultyWire(seed=3)
+        conn = LoopbackConnection(core, wire=wire, client_key="brk")
+        conn.execute("INSERT INTO t (k, v) VALUES (1, 'base')")
+        conn.execute("BEGIN TRAN")
+        wire.arm("drop_response")
+        # The response is lost while the bracket is open: the server
+        # aborted the bracket; a blind retry would run the statement
+        # autocommit.  The client must raise instead.
+        with pytest.raises(ConnectionLostError):
+            conn.execute("UPDATE t SET v = 'poison' WHERE k = 1")
+        assert _value(conn, 1) == "base"
+        assert core.db.stats()["service_aborted_on_disconnect"] == 1
+
+    def test_autocommit_retry_rides_the_idempotency_cache(self):
+        core = _core()
+        wire = FaultyWire(seed=5)
+        conn = LoopbackConnection(core, wire=wire, client_key="auto")
+        wire.arm("drop_response")
+        response = conn.execute("INSERT INTO t (k, v) VALUES (9, 'ack')")
+        assert response["status"] == protocol.STATUS_OK
+        assert conn.reconnects == 1
+        assert core.stats.duplicate_hits == 1
+        assert _value(conn, 9) == "ack"
+
+
+# ---------------------------------------------------------------------------
+# the asyncio server, end to end over real sockets
+# ---------------------------------------------------------------------------
+
+
+def _serve(db, **kwargs) -> ThreadedService:
+    kwargs.setdefault("pool_workers", 2)
+    kwargs.setdefault("queue_depth", 32)
+    return ThreadedService(db, port=0, **kwargs)
+
+
+class TestServerEndToEnd:
+    def test_quickstart_sql_temporal_and_ingest(self):
+        db = _make_db()
+        with _serve(db) as svc:
+            with ServiceClient("127.0.0.1", svc.port) as client:
+                assert client.ping()["message"] == "pong"
+                client.execute("INSERT INTO t (k, v) VALUES (1, 'v1')")
+                db.advance_time(100)
+                mark = db.clock.now_datetime().isoformat(sep=" ")
+                db.clock.advance_ticks(1)
+                client.execute("UPDATE t SET v = 'v2' WHERE k = 1")
+                now_rows = _rows(
+                    client.execute("SELECT v FROM t WHERE k = 1")
+                )
+                assert now_rows == [{"v": "v2"}]
+                asof = _rows(client.execute(
+                    f"SELECT v FROM t AS OF '{mark}' WHERE k = 1"
+                ))
+                assert asof == [{"v": "v1"}]
+                history = _rows(
+                    client.execute("SELECT HISTORY OF t WHERE k = 1")
+                )
+                assert len(history) == 2
+                ingest = client.ingest(
+                    "t", "k,v\n10,ten\n11,eleven\n12,twelve\n", batch=2
+                )
+                assert ingest["rowcount"] == 3
+                count = _rows(client.execute("SELECT k FROM t"))
+                assert len(count) == 4
+                stats = client.stats()["rows"][0]
+                assert stats["service_accepts"] > 0
+        # Drain forced group commit: every acked write is durable.
+        assert db.txn_mgr.unacked_commits == 0
+
+    def test_socket_disconnect_mid_bracket_releases_locks(self):
+        db = _make_db()
+        with _serve(db) as svc:
+            rude = ServiceClient("127.0.0.1", svc.port)
+            rude.execute("INSERT INTO t (k, v) VALUES (1, 'base')")
+            rude.execute("BEGIN TRAN")
+            rude.execute("UPDATE t SET v = 'stranded' WHERE k = 1")
+            rude._disconnect()   # vanish without COMMIT or close
+            assert _wait_until(
+                lambda: db.stats()["service_aborted_on_disconnect"] == 1
+            )
+            with ServiceClient("127.0.0.1", svc.port) as polite:
+                ok = polite.execute("UPDATE t SET v = 'alive' WHERE k = 1")
+                assert ok["status"] == protocol.STATUS_OK
+                assert _value(polite, 1) == "alive"
+
+    def test_idle_session_is_reaped_and_bracket_aborted(self):
+        db = _make_db()
+        with _serve(db, idle_timeout_s=0.3) as svc:
+            lazy = ServiceClient("127.0.0.1", svc.port)
+            lazy.execute("INSERT INTO t (k, v) VALUES (1, 'base')")
+            lazy.execute("BEGIN TRAN")
+            lazy.execute("UPDATE t SET v = 'stale' WHERE k = 1")
+            assert _wait_until(lambda: svc.core.stats.idle_closes == 1)
+            assert db.stats()["service_aborted_on_disconnect"] == 1
+            with ServiceClient("127.0.0.1", svc.port) as fresh:
+                ok = fresh.execute("UPDATE t SET v = 'fresh' WHERE k = 1")
+                assert ok["status"] == protocol.STATUS_OK
+            lazy._disconnect()
+
+    def test_request_timeout_returns_typed_response(self):
+        db = _make_db()
+        with _serve(db, request_timeout_s=0.3, pool_workers=0) as svc:
+            holder = ServiceClient("127.0.0.1", svc.port)
+            holder.execute("INSERT INTO t (k, v) VALUES (1, 'held')")
+            holder.execute("BEGIN TRAN")
+            holder.execute("UPDATE t SET v = 'locked' WHERE k = 1")
+            with ServiceClient("127.0.0.1", svc.port) as blocked:
+                response = blocked.execute(
+                    "UPDATE t SET v = 'waiting' WHERE k = 1"
+                )
+                assert response["status"] == protocol.STATUS_TIMEOUT
+                assert response["deadline_ms"] == pytest.approx(300.0)
+            assert _wait_until(
+                lambda: db.stats()["service_timeouts"] == 1
+            )
+            holder._disconnect()
+
+    def test_drain_refuses_new_connections_with_typed_bye(self):
+        db = _make_db()
+        with _serve(db) as svc:
+            with ServiceClient("127.0.0.1", svc.port) as early:
+                early.execute("INSERT INTO t (k, v) VALUES (1, 'pre')")
+                svc.begin_drain()
+                assert _wait_until(lambda: svc.core.draining)
+                shed = early.execute("INSERT INTO t (k, v) VALUES (2, 'x')")
+                assert shed["status"] == protocol.STATUS_OVERLOADED
+                late = ServiceClient("127.0.0.1", svc.port)
+                with pytest.raises((SessionStateError, ConnectionLostError)):
+                    late.execute("SELECT k FROM t")
+                late._disconnect()
+        assert db.txn_mgr.unacked_commits == 0
+
+    def test_torn_frame_on_the_socket_kills_the_connection(self):
+        db = _make_db()
+        with _serve(db) as svc:
+            client = ServiceClient("127.0.0.1", svc.port)
+            client.execute("INSERT INTO t (k, v) VALUES (1, 'pre')")
+            frame = bytearray(protocol.encode_message(
+                {"id": "torn:1", "op": "ping"}
+            ))
+            frame[-1] ^= 0x01
+            client._connect().sendall(bytes(frame))
+            assert _wait_until(lambda: svc.core.stats.torn_frames == 1)
+            client._disconnect()
+            # The engine never saw the request; a clean retry succeeds.
+            with ServiceClient("127.0.0.1", svc.port) as retry:
+                assert retry.ping()["message"] == "pong"
