@@ -1,0 +1,442 @@
+"""Shard scale-out benchmark: mixed throughput vs. shard count, gated.
+
+The cluster's scale-out claim has two halves, and this harness gates both:
+
+* **Scale-out.**  The same seeded mixed workload (fast-path updates,
+  a cross-shard transfer slice that runs 2PC, point reads, as-of probes)
+  runs against 1, 2 and 4 shards.  Each shard is modelled as its own
+  machine — its own bounded buffer pool, its own disk — so the cluster's
+  simulated time for a phase is the **max across shards** of the cost
+  model's ``simulated_ms`` (shards work their partitions concurrently;
+  the slowest shard finishes last).  The keyspace is sized to a large
+  multiple of one shard's buffer budget, so the single-shard point is
+  eviction-bound and the speedup measures real partitioning relief
+  (smaller per-shard working set) on top of parallelism.  The gate
+  (``--min-speedup``, default 2.0) is mixed throughput at 4 shards over
+  1 shard on the parallel model.  The model's known simplification: the
+  coordinator's decision log rides outside every shard's counters, so
+  2PC cost is charged as the participants' extra forces/records only.
+* **Fast-path overhead.**  Sharding must not tax the workload that does
+  not need it.  The identical workload runs on a raw ``ImmortalDB`` and
+  on a 1-shard cluster (every commit takes the single-shard fast path
+  through the shared timestamp authority); the gate
+  (``--max-overhead``, default 0.10) is the relative increase in
+  simulated cost.  Both runs execute the identical op sequence, so the
+  ratio is a pure function of the engines' deterministic counters.
+
+Wall-clock numbers are reported alongside for both halves but not
+gated: the driver is single-threaded Python, so cluster wall time sums
+what the model correctly treats as concurrent, and on a dev box the OS
+page cache absorbs the I/O the cost model exists to expose.
+
+``BENCH_shard.json`` is the committed baseline; ``--compare`` fails the
+run when any gated configuration's simulated cost regresses by more
+than ``--tolerance`` (default 30 %).
+
+Run it:
+
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick           # CI
+    PYTHONPATH=src python benchmarks/bench_shard.py                   # full
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick \
+        --compare BENCH_shard.json                                    # gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from dataclasses import dataclass
+
+if __package__ in (None, ""):  # direct script invocation without PYTHONPATH
+    _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    if os.path.isdir(_SRC) and _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.bench.costmodel import COST_2005, stats_delta
+from repro.cluster import ShardRouter
+from repro.core.engine import ImmortalDB
+
+SEED = 31
+MS_PER_COMMIT = 5.0
+
+COUNTER_KEYS = (
+    "commits", "log_forces", "log_appends",
+    "buffer_hits", "buffer_misses", "buffer_evictions",
+    "buffer_dirty_evictions", "page_flushes",
+    "disk_reads", "disk_writes", "stamps", "version_ops",
+)
+
+
+@dataclass(frozen=True)
+class Sizes:
+    keys: int             # global keyspace (uniformly hit by the mix)
+    mixed_ops: int        # operations in the gated mixed phase
+    buffer_pages: int     # per-shard pool: each shard is its own machine
+    value_pad: int        # payload size → a handful of rows per 8 KiB page
+    checkpoint_every: int  # mixed-phase checkpoint cadence
+
+
+QUICK = Sizes(
+    keys=1800, mixed_ops=2600, buffer_pages=32, value_pad=500,
+    checkpoint_every=700,
+)
+FULL = Sizes(
+    keys=12_000, mixed_ops=20_000, buffer_pages=96, value_pad=500,
+    checkpoint_every=2500,
+)
+
+COLUMNS = [("k", "int"), ("v", "text")]
+
+
+def _value(rng: random.Random, pad: int) -> str:
+    return "v" + "x" * rng.randrange(pad // 2, pad)
+
+
+# -- workload (identical op sequence for every configuration) ------------------
+
+
+def _run_load(handle, table, sizes: Sizes, marks: list) -> int:
+    """Insert the whole keyspace, checkpoint clean, leave an as-of mark."""
+    rng = random.Random(SEED)
+    batch = 16
+    for base in range(0, sizes.keys, batch):
+        with handle.transaction() as txn:
+            for k in range(base, min(base + batch, sizes.keys)):
+                table.insert(txn, {"k": k, "v": _value(rng, sizes.value_pad)})
+    handle.flush_commits()
+    handle.checkpoint(flush=True)
+    marks.append(handle.now())
+    return sizes.keys
+
+
+def _run_mixed(handle, table, sizes: Sizes, marks: list) -> int:
+    """The gated mix: 86 % fast-path updates, 6 % far-key transfers (2PC
+    once the two keys land on different shards), 5 % point reads, 3 %
+    as-of point probes at collected marks.
+
+    The op sequence is a pure function of the seed and the *keyspace* —
+    never of the shard count — so every configuration replays the same
+    logical history and the simulated-cost ratio is a throughput ratio.
+    """
+    rng = random.Random(SEED + 1)
+    done = 0
+    next_checkpoint = sizes.checkpoint_every
+    half = sizes.keys // 2
+    while done < sizes.mixed_ops:
+        draw = rng.random()
+        if draw < 0.86:
+            k = rng.randrange(sizes.keys)
+            with handle.transaction() as txn:
+                table.update(txn, k, {"v": _value(rng, sizes.value_pad)})
+        elif draw < 0.92:
+            # A transfer touching two keys half the keyspace apart: lands
+            # on two different shards at every shard count > 1.
+            k = rng.randrange(sizes.keys)
+            partner = (k + half) % sizes.keys
+            with handle.transaction() as txn:
+                table.update(txn, k, {"v": _value(rng, sizes.value_pad)})
+                table.update(
+                    txn, partner, {"v": _value(rng, sizes.value_pad)}
+                )
+        elif draw < 0.97:
+            with handle.transaction() as txn:
+                table.read(txn, rng.randrange(sizes.keys))
+        else:
+            table.read_as_of(
+                marks[rng.randrange(len(marks))], rng.randrange(sizes.keys)
+            )
+        done += 1
+        if done >= next_checkpoint:
+            handle.flush_commits()
+            marks.append(handle.now())
+            handle.checkpoint(flush=True)
+            next_checkpoint += sizes.checkpoint_every
+    handle.flush_commits()
+    return sizes.mixed_ops
+
+
+# -- measurement ---------------------------------------------------------------
+
+
+def _shard_dbs(handle) -> list[ImmortalDB]:
+    if isinstance(handle, ShardRouter):
+        return [shard.db for shard in handle.shards]
+    return [handle]
+
+
+def _measure(handle, fn) -> dict:
+    """One phase under the parallel cost model.
+
+    Per-shard counter deltas are costed independently; the cluster's
+    simulated time is the slowest shard's (they run concurrently), and
+    the skew ratio max/mean says how balanced the partitioning was.
+    """
+    dbs = _shard_dbs(handle)
+    before = [db.stats() for db in dbs]
+    start = time.perf_counter()
+    ops = fn()
+    wall = time.perf_counter() - start
+    deltas = [
+        stats_delta(b, db.stats()) for b, db in zip(before, dbs)
+    ]
+    per_shard_ms = [COST_2005.simulated_ms(d) for d in deltas]
+    cluster_ms = max(per_shard_ms)
+    mean_ms = sum(per_shard_ms) / len(per_shard_ms)
+    totals: dict = {}
+    for delta in deltas:
+        for key in COUNTER_KEYS:
+            if key in delta:
+                totals[key] = totals.get(key, 0) + delta[key]
+    return {
+        "ops": ops,
+        "wall_seconds": round(wall, 6),
+        "simulated_ms": round(cluster_ms, 3),
+        "per_shard_simulated_ms": [round(ms, 3) for ms in per_shard_ms],
+        "shard_skew": round(cluster_ms / mean_ms, 3) if mean_ms else None,
+        "sim_ops_per_sec": round(ops / (cluster_ms / 1000.0), 1)
+        if cluster_ms > 0 else float("inf"),
+        "wall_ops_per_sec": round(ops / wall, 1) if wall > 0 else float("inf"),
+        "counters": totals,
+    }
+
+
+def _data_pages(handle) -> int:
+    total = 0
+    for db in _shard_dbs(handle):
+        pc = getattr(db.disk, "page_count", 0)
+        total += pc() if callable(pc) else pc
+    return total
+
+
+def run_config(*, shards: int, sizes: Sizes, raw_engine: bool = False) -> dict:
+    """Load + mixed under one configuration; returns phases and counters."""
+    marks: list = []
+    if raw_engine:
+        handle = ImmortalDB(
+            buffer_pages=sizes.buffer_pages, ms_per_commit=MS_PER_COMMIT,
+        )
+        table = handle.create_table("kv", COLUMNS, key="k", immortal=True)
+    else:
+        handle = ShardRouter.for_int_keys(
+            shards, key_space=sizes.keys,
+            ms_per_commit=MS_PER_COMMIT, buffer_pages=sizes.buffer_pages,
+        )
+        table = handle.create_table("kv", COLUMNS, key="k", immortal=True)
+    out: dict = {
+        "shards": shards,
+        "raw_engine": raw_engine,
+        "buffer_pages_per_shard": sizes.buffer_pages,
+    }
+    out["load"] = _measure(handle, lambda: _run_load(
+        handle, table, sizes, marks))
+    out["mixed"] = _measure(handle, lambda: _run_mixed(
+        handle, table, sizes, marks))
+    out["data_pages"] = _data_pages(handle)
+    out["data_to_buffer_ratio"] = round(
+        out["data_pages"] / (sizes.buffer_pages * max(1, shards)), 2
+    )
+    if not raw_engine:
+        out["fastpath_commits"] = handle.fastpath_commits
+        out["twopc_commits"] = handle.twopc_commits
+    handle.close()
+    return out
+
+
+def run_bench(*, quick: bool, shard_counts=(1, 2, 4)) -> dict:
+    sizes = QUICK if quick else FULL
+    payload: dict = {
+        "quick": quick,
+        "seed": SEED,
+        "keys": sizes.keys,
+        "mixed_ops": sizes.mixed_ops,
+        "buffer_pages_per_shard": sizes.buffer_pages,
+        "value_pad": sizes.value_pad,
+    }
+    payload["raw"] = run_config(shards=1, sizes=sizes, raw_engine=True)
+    payload["cluster"] = {
+        str(n): run_config(shards=n, sizes=sizes) for n in shard_counts
+    }
+    one = payload["cluster"]["1"]["mixed"]
+    four = payload["cluster"][str(max(shard_counts))]["mixed"]
+    payload["scaleout"] = {
+        "shards": max(shard_counts),
+        "speedup": round(
+            one["simulated_ms"] / four["simulated_ms"], 3
+        ),
+        "throughput_curve": {
+            str(n): payload["cluster"][str(n)]["mixed"]["sim_ops_per_sec"]
+            for n in shard_counts
+        },
+    }
+    raw_ms = payload["raw"]["mixed"]["simulated_ms"]
+    one_ms = one["simulated_ms"]
+    payload["fastpath"] = {
+        "raw_simulated_ms": raw_ms,
+        "one_shard_simulated_ms": one_ms,
+        "overhead": round(one_ms / raw_ms - 1.0, 4),
+    }
+    return payload
+
+
+# -- gates ---------------------------------------------------------------------
+
+
+def check_pressure(payload: dict) -> list[str]:
+    """The single-shard point must be genuinely eviction-bound, and the
+    workload must have exercised both commit paths at every shard count
+    above one — otherwise the speedup is measuring the wrong thing."""
+    problems = []
+    one = payload["cluster"]["1"]
+    if one["data_to_buffer_ratio"] < 2.0:
+        problems.append(
+            f"keyspace is only {one['data_to_buffer_ratio']}x one shard's "
+            "buffer budget — the single-shard point is not eviction-bound"
+        )
+    if one["mixed"]["counters"].get("buffer_evictions", 0) <= 0:
+        problems.append(
+            "1-shard mixed phase reported no evictions — in-memory numbers "
+            "are not scale-out numbers"
+        )
+    for name, config in payload["cluster"].items():
+        if config["shards"] > 1 and config["twopc_commits"] <= 0:
+            problems.append(
+                f"{name}-shard run never took the 2PC path — the transfer "
+                "slice is not crossing shards"
+            )
+        if config["fastpath_commits"] <= 0:
+            problems.append(f"{name}-shard run never took the fast path")
+    return problems
+
+
+def compare_against(
+    baseline: dict, current: dict, tolerance: float
+) -> list[str]:
+    """Simulated-cost regressions beyond ``tolerance`` (deterministic)."""
+    problems = []
+    if baseline.get("quick") != current.get("quick"):
+        return [
+            "baseline and current run disagree on --quick mode; "
+            "absolute simulated_ms is only comparable within one mode"
+        ]
+    checks = [("raw", baseline.get("raw"), current.get("raw"))]
+    for name, base in (baseline.get("cluster") or {}).items():
+        checks.append(
+            (f"cluster/{name}", base, (current.get("cluster") or {}).get(name))
+        )
+    for name, base, now in checks:
+        if base is None:
+            continue
+        if now is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        for phase in ("load", "mixed"):
+            ceiling = base[phase]["simulated_ms"] * (1.0 + tolerance)
+            if now[phase]["simulated_ms"] > ceiling:
+                problems.append(
+                    f"{name}/{phase}: {now[phase]['simulated_ms']:.1f} "
+                    f"simulated ms is above {ceiling:.1f} (baseline "
+                    f"{base[phase]['simulated_ms']:.1f} + "
+                    f"{tolerance:.0%} tolerance)"
+                )
+    return problems
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def _print_config(name: str, config: dict) -> None:
+    for phase in ("load", "mixed"):
+        r = config[phase]
+        c = r["counters"]
+        print(f"{name:>9}/{phase:<5} {r['simulated_ms']:>10.0f} sim-ms "
+              f"{r['sim_ops_per_sec']:>9.1f} sim-ops/s "
+              f"{r['wall_seconds']:>6.2f} wall-s "
+              f"(skew {r['shard_skew']}, "
+              f"evictions {c.get('buffer_evictions', '?')}, "
+              f"reads {c.get('disk_reads', '?')}, "
+              f"writes {c.get('disk_writes', '?')}, "
+              f"forces {c.get('log_forces', '?')})")
+    if "twopc_commits" in config:
+        print(f"{'':>9} fastpath {config['fastpath_commits']}, "
+              f"2pc {config['twopc_commits']}, "
+              f"data {config['data_pages']} pages "
+              f"({config['data_to_buffer_ratio']}x per-shard pool)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_shard.py",
+        description="Shard scale-out benchmark with speedup and "
+                    "fast-path-overhead gates.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workload (the committed baseline)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the JSON here (default: print only)")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="fail if simulated cost regresses vs this JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail if 4-shard mixed speedup vs 1 shard is "
+                             "below this (default 2.0)")
+    parser.add_argument("--max-overhead", type=float, default=0.10,
+                        help="fail if the 1-shard fast path costs more than "
+                             "this fraction over the raw engine "
+                             "(default 0.10)")
+    args = parser.parse_args(argv)
+
+    payload = run_bench(quick=args.quick)
+
+    _print_config("raw", payload["raw"])
+    for name in sorted(payload["cluster"], key=int):
+        _print_config(f"{name}-shard", payload["cluster"][name])
+    scale = payload["scaleout"]
+    fast = payload["fastpath"]
+    curve = ", ".join(
+        f"{n}:{v:.1f}" for n, v in scale["throughput_curve"].items()
+    )
+    print(f"scale-out: {scale['speedup']:.2f}x mixed throughput at "
+          f"{scale['shards']} shards vs 1 (gate >= {args.min_speedup:.2f}x; "
+          f"sim-ops/s curve {curve})")
+    print(f"fast path: {fast['overhead']:+.1%} simulated cost vs raw engine "
+          f"(gate <= {args.max_overhead:+.0%})")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    failed = False
+    for problem in check_pressure(payload):
+        print(f"FAIL {problem}")
+        failed = True
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        problems = compare_against(baseline, payload, args.tolerance)
+        for problem in problems:
+            print(f"REGRESSION {problem}")
+            failed = True
+        if not problems:
+            print(f"no regression vs {args.compare} "
+                  f"(tolerance {args.tolerance:.0%})")
+    if scale["speedup"] < args.min_speedup:
+        print(f"FAIL: {scale['shards']}-shard mixed speedup "
+              f"{scale['speedup']:.2f}x is below the "
+              f"{args.min_speedup:.2f}x gate")
+        failed = True
+    if fast["overhead"] > args.max_overhead:
+        print(f"FAIL: 1-shard fast path costs {fast['overhead']:+.1%} over "
+              f"the raw engine, above the {args.max_overhead:+.0%} gate")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -176,6 +176,24 @@ class SimClock:
             self._tick += ticks
             self._issued_sn = 0
 
+    def adopt_floor(self, floor: Timestamp) -> None:
+        """Never again issue (or report as ``now()``) a time below ``floor``.
+
+        Called after crash recovery with the durable high-water commit
+        timestamp (persisted in the boot page at every checkpoint, plus the
+        max commit timestamp replayed from the log suffix).  A restarted
+        engine's clock restarts from tick 1, so without this a fresh commit
+        could stamp *below* an already-durable version — breaking the
+        invariant that timestamp order equals commit order.  Monotone: a
+        floor at or below the current position is a no-op.
+        """
+        if floor.ttime > self._tick:
+            self._tick = floor.ttime
+            self._issued_sn = floor.sn
+            self._ms_remainder = 0.0
+        elif floor.ttime == self._tick and floor.sn > self._issued_sn:
+            self._issued_sn = floor.sn
+
     # -- issuing timestamps --------------------------------------------------
 
     def next_timestamp(self) -> Timestamp:

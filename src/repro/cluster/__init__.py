@@ -1,0 +1,22 @@
+"""Range-sharded clustering over N ImmortalDB engines.
+
+One :class:`ShardRouter` owns N independent shard engines (each with its own
+WAL, buffer pool, lock table, and PTT/VTT), range-partitions keys across
+them, and commits cross-shard transactions with presumed-abort two-phase
+commit.  A single shared :class:`CommitTimestampAuthority` issues every
+commit timestamp, so timestamp order is a cluster-wide total order and
+AS OF reads return one consistent cut across shards.
+"""
+
+from repro.cluster.authority import CommitTimestampAuthority
+from repro.cluster.twopc import Decision, TwoPhaseCoordinator
+from repro.cluster.router import ClusterTable, ClusterTxn, ShardRouter
+
+__all__ = [
+    "ClusterTable",
+    "ClusterTxn",
+    "CommitTimestampAuthority",
+    "Decision",
+    "ShardRouter",
+    "TwoPhaseCoordinator",
+]

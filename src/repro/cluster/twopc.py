@@ -1,0 +1,130 @@
+"""Presumed-abort two-phase commit: the coordinator side.
+
+The coordinator owns a WAL-framed decision log (the same
+:class:`~repro.wal.log.LogManager` the engines use, so crash() discards the
+unforced suffix exactly like an engine log does) and an in-memory decision
+table replayed from it after a crash.
+
+Presumed abort (Mohan/Lindsay/Obermarck) sets the force discipline:
+
+* **commit** decisions are force-logged *before* any participant applies
+  them — the force is the commit point; a crash after it must still drive
+  every participant to commit, and the logged record carries the
+  authority-issued timestamp so resolution stamps the identical time
+  everywhere;
+* **abort** decisions are logged lazily (never forced): a coordinator that
+  finds no decision for a gtid answers "abort", so losing an abort record
+  to a crash changes nothing;
+* once every participant acknowledged, a **forget** record lets replay drop
+  the entry, keeping the decision table bounded.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.clock import Timestamp
+from repro.faults.failpoints import fire
+from repro.wal.log import LogManager
+from repro.wal.records import CoordDecision, CoordForget
+
+
+class Decision(enum.Enum):
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+class TwoPhaseCoordinator:
+    """Decision log + replayable decision table for cross-shard commits."""
+
+    def __init__(self, log: LogManager | None = None) -> None:
+        self.log = log if log is not None else LogManager()
+        # {gtid: (decision, commit timestamp or None)} — undecided gtids are
+        # absent, which presumed abort reads as "abort".
+        self.decisions: dict[int, tuple[Decision, Timestamp | None]] = {}
+        self.next_gtid = 1
+        self.commit_decisions = 0
+        self.abort_decisions = 0
+        self.forgotten = 0
+
+    # -- gtid allocation ----------------------------------------------------
+
+    def allocate_gtid(self) -> int:
+        gtid = self.next_gtid
+        self.next_gtid += 1
+        return gtid
+
+    def adopt_gtid_floor(self, max_seen: int) -> None:
+        """Never reuse a gtid that any shard's prepare record mentions."""
+        self.next_gtid = max(self.next_gtid, max_seen + 1)
+
+    # -- deciding -----------------------------------------------------------
+
+    def decide_commit(
+        self, gtid: int, ts: Timestamp, shard_ids: list[int]
+    ) -> None:
+        """Force-log the commit decision; this force IS the commit point."""
+        self.log.append(
+            CoordDecision(
+                gtid=gtid, commit=True,
+                ttime=ts.ttime, sn=ts.sn, shard_ids=list(shard_ids),
+            )
+        )
+        # force(), not force(lsn): an LSN is the record's *start* offset, so
+        # when the decision is the first unflushed record force(lsn) no-ops.
+        self.log.force()
+        self.decisions[gtid] = (Decision.COMMIT, ts)
+        self.commit_decisions += 1
+        fire("cluster.2pc.decision_logged")   # durable commit decision
+
+    def decide_abort(self, gtid: int, shard_ids: list[int] = ()) -> None:
+        """Log the abort decision lazily (presumed abort: no force needed)."""
+        self.log.append(
+            CoordDecision(gtid=gtid, commit=False, shard_ids=list(shard_ids))
+        )
+        self.decisions[gtid] = (Decision.ABORT, None)
+        self.abort_decisions += 1
+
+    def forget(self, gtid: int) -> None:
+        """All participants acknowledged: drop the decision table entry."""
+        self.log.append(CoordForget(gtid=gtid))
+        self.decisions.pop(gtid, None)
+        self.forgotten += 1
+        fire("cluster.2pc.forget")
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, gtid: int) -> tuple[Decision, Timestamp | None]:
+        """A participant asks: what happened to this gtid?
+
+        No entry ⇒ presumed abort: either the coordinator never decided
+        (crash before the decision) or it already forgot a fully-acked
+        transaction — and a forgotten transaction has no in-doubt
+        participants left to ask.
+        """
+        return self.decisions.get(gtid, (Decision.ABORT, None))
+
+    # -- crash / replay -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose volatile state; the forced log prefix survives."""
+        self.log.crash()
+        self.decisions.clear()
+
+    def recover(self) -> None:
+        """Rebuild the decision table from the surviving decision log."""
+        self.decisions.clear()
+        max_gtid = 0
+        for rec in self.log.records_from(0):
+            if isinstance(rec, CoordDecision):
+                max_gtid = max(max_gtid, rec.gtid)
+                if rec.commit:
+                    self.decisions[rec.gtid] = (
+                        Decision.COMMIT, Timestamp(rec.ttime, rec.sn)
+                    )
+                else:
+                    self.decisions[rec.gtid] = (Decision.ABORT, None)
+            elif isinstance(rec, CoordForget):
+                max_gtid = max(max_gtid, rec.gtid)
+                self.decisions.pop(rec.gtid, None)
+        self.adopt_gtid_floor(max_gtid)

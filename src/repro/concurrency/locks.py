@@ -116,6 +116,12 @@ class LockManager:
         self._waiters: dict[Resource, list[_Waiter]] = {}
         self._waiting_tids: dict[int, _Waiter] = {}
         self._cv = threading.Condition()
+        # TIDs that cannot finish without external action (in-doubt 2PC
+        # participants reinstated after recovery): waiting behind one is
+        # futile — the holder releases only when resolution runs — so
+        # conflicts with a wedged holder raise immediately even in
+        # blocking mode, where they can be surfaced as typed errors.
+        self.wedged: set[int] = set()
         self.blocking = blocking
         self.wait_timeout_s = wait_timeout_s
         # Deterministic default: abort the youngest transaction in the cycle.
@@ -167,7 +173,9 @@ class LockManager:
                         tid, resource, mode, upgrade=current is not None
                     )
                     return
-                if not self.blocking:
+                if not self.blocking or any(
+                    t in self.wedged for t, _ in blocking_holders
+                ):
                     self.conflicts += 1
                     raise self._conflict_error(
                         tid, resource, mode, blocking_holders

@@ -32,6 +32,7 @@ from repro.wal.records import (
     CommitTxn,
     InPlaceUpdate,
     LogRecord,
+    PrepareTxn,
     TxnPhase,
     VersionOp,
 )
@@ -46,6 +47,7 @@ class TxnMode(enum.Enum):
 
 class TxnState(enum.Enum):
     ACTIVE = "active"
+    PREPARED = "prepared"     # voted yes in 2PC; awaiting the coordinator
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -70,6 +72,7 @@ class Transaction:
     # validates that none was overwritten by a later committed transaction.
     occ: bool = False
     read_keys: set[tuple[int, bytes]] = field(default_factory=set)
+    gtid: int | None = None           # global 2PC transaction id, once prepared
 
     @property
     def is_read_only(self) -> bool:
@@ -124,6 +127,13 @@ class TransactionManager:
         # Set by the engine when cc_mode="occ": called with the transaction
         # at commit, raises OCCValidationError if a read was invalidated.
         self.occ_validate: Callable[[Transaction], None] | None = None
+        # Commit-timestamp source.  None draws from the local clock (the
+        # single-engine default); a ShardRouter points every shard at one
+        # shared CommitTimestampAuthority so timestamp order is a cluster-wide
+        # total order and cross-shard as-of reads see one consistent cut.
+        self.ts_source: Callable[[], Timestamp] | None = None
+        # Prepared-but-undecided transactions by gtid (2PC participants).
+        self.in_doubt: dict[int, Transaction] = {}
         # Group commit: transactions whose commit record is appended but not
         # yet durable, in enqueue (= LSN) order.  Any physical log force —
         # the window filling, a WAL-rule page flush, a checkpoint — makes a
@@ -214,8 +224,12 @@ class TransactionManager:
         # Late choice: the timestamp is drawn now, when serialization order
         # is settled, guaranteeing timestamp order == serialization order —
         # unless CURRENT TIME already pinned one (validated at every access).
-        ts = txn.pinned_ts if txn.pinned_ts is not None \
-            else self.clock.next_timestamp()
+        if txn.pinned_ts is not None:
+            ts = txn.pinned_ts
+        elif self.ts_source is not None:
+            ts = self.ts_source()
+        else:
+            ts = self.clock.next_timestamp()
         txn.commit_ts = ts
         # Eager mode does its revisit-and-stamp work here; lazy does nothing.
         self.tsmgr.on_commit_prepare(txn.tid, ts)
@@ -294,10 +308,144 @@ class TransactionManager:
         """Crash: un-acked batched commits are lost with the log suffix."""
         self._pending_commits.clear()
 
+    # -- two-phase commit (participant side) ------------------------------------------
+
+    def prepare(self, txn: Transaction, gtid: int) -> int:
+        """Phase one: force-log the vote, keep the locks, await the decision.
+
+        After this returns the transaction is PREPARED: it can no longer
+        abort unilaterally — a crash restores it *in doubt* with its write
+        locks re-acquired, and only :meth:`commit_prepared` (coordinator said
+        commit) or :meth:`abort` (coordinator said abort) resolves it.
+        """
+        txn.require_writable()
+        if txn.is_read_only:
+            raise TransactionStateError(
+                f"transaction {txn.tid} is read-only; prepare is meaningless"
+            )
+        fire("txn.prepare.begin")
+        # Validation runs at prepare: a yes vote promises the transaction
+        # *can* commit, so optimistic conflicts must surface here, while the
+        # participant can still vote no.
+        if txn.occ and txn.read_keys and self.occ_validate is not None:
+            self.occ_validate(txn)
+        txn.gtid = gtid
+        lsn = self.log.append(
+            PrepareTxn(
+                tid=txn.tid,
+                prev_lsn=txn.last_lsn,
+                gtid=gtid,
+                ptt=txn.touched_immortal,
+                writes=sorted(txn.writes),
+            )
+        )
+        txn.last_lsn = lsn
+        fire("txn.prepare.force")     # vote appended, not yet durable
+        # Force to end-of-log, not force(lsn): an LSN is a *start* offset,
+        # and this record may be the first append since a force that left
+        # flushed_lsn exactly here — force(lsn) would no-op and the vote
+        # would not be durable.
+        self.log.force()
+        txn.state = TxnState.PREPARED
+        self.in_doubt[gtid] = txn
+        fire("txn.prepare.done")      # durable yes vote
+        return lsn
+
+    def commit_prepared(self, txn: Transaction, ts: Timestamp) -> Timestamp:
+        """Phase two, commit decision: stamp the coordinator-issued timestamp.
+
+        Identical to the tail of :meth:`commit` except the timestamp comes
+        from the decision (issued once by the shared authority, the same
+        value on every participant shard) instead of being drawn locally.
+        """
+        if txn.state is not TxnState.PREPARED:
+            raise TransactionStateError(
+                f"transaction {txn.tid} is {txn.state.value}, not prepared"
+            )
+        fire("txn.commit.begin")
+        txn.commit_ts = ts
+        self.tsmgr.on_commit_prepare(txn.tid, ts)
+        commit_lsn = self.log.append(
+            CommitTxn(
+                tid=txn.tid,
+                prev_lsn=txn.last_lsn,
+                ttime=ts.ttime,
+                sn=ts.sn,
+                ptt=txn.touched_immortal,
+            )
+        )
+        fire("txn.commit.force")
+        # force(), not force(commit_lsn): prepare's force left flushed_lsn
+        # exactly at this record's start offset, where force(commit_lsn)
+        # would no-op (see prepare).
+        self.log.force()
+        fire("txn.commit.stamp")
+        self.tsmgr.on_commit(
+            txn.tid, ts, commit_lsn, persistent=txn.touched_immortal
+        )
+        txn.state = TxnState.COMMITTED
+        if txn.gtid is not None:
+            self.in_doubt.pop(txn.gtid, None)
+        self._finish(txn)
+        self.commits += 1
+        fire("txn.commit.done")
+        return ts
+
+    def reinstate_in_doubt(
+        self, entries: list[tuple[int, int]], lock_record: Callable
+    ) -> None:
+        """Restore prepared transactions after recovery (still undecided).
+
+        ``entries`` is the recovery report's [(tid, prepare_lsn)] list; the
+        prepare record supplies the write set for lock re-acquisition and
+        the gtid for coordinator lookup.  Each transaction comes back
+        PREPARED with an active VTT entry (so its TID-marked versions stay
+        invisible and unstampable) and exclusive locks on every key it
+        wrote (so conflicting access raises, surfaced as InDoubtError at
+        the cluster layer).
+        """
+        for tid, prepare_lsn in entries:
+            rec = self.log.record_at(prepare_lsn)
+            if not isinstance(rec, PrepareTxn):
+                raise TransactionStateError(
+                    f"in-doubt LSN {prepare_lsn} is not a prepare record"
+                )
+            txn = Transaction(
+                tid=tid,
+                mode=TxnMode.SERIALIZABLE,
+                state=TxnState.PREPARED,
+                last_lsn=prepare_lsn,
+                logged_begin=True,
+                touched_immortal=rec.ptt,
+                gtid=rec.gtid,
+            )
+            txn.writes = set(rec.writes)
+            self.tsmgr.on_begin(tid)
+            # The crash lost the count of unstamped versions this TID left on
+            # pages (redo recreated the versions, not the bookkeeping), so
+            # the RefCount is *undefined* — same post-crash posture as a VTT
+            # entry cached from the PTT: stamping decrements become no-ops
+            # and the PTT entry is never garbage-collected.
+            self.tsmgr.vtt.require(tid).refcount = None
+            for table_id, key in sorted(txn.writes):
+                lock_record(tid, table_id, key)
+            # Under blocking locks a waiter must not park behind this TID:
+            # it releases only when 2PC resolution runs, so conflicts raise
+            # immediately (surfaced as InDoubtError at the cluster layer).
+            self.locks.wedged.add(tid)
+            self.active[tid] = txn
+            self.in_doubt[rec.gtid] = txn
+
     # -- abort ----------------------------------------------------------------------
 
     def abort(self, txn: Transaction) -> None:
         """Roll back every update via the log backchain, writing CLRs."""
+        if txn.state is TxnState.PREPARED:
+            # Coordinator said abort (or presumed abort after a crash):
+            # resume as an ordinary rollback, releasing the in-doubt entry.
+            txn.state = TxnState.ACTIVE
+            if txn.gtid is not None:
+                self.in_doubt.pop(txn.gtid, None)
         txn.require_active()
         if not txn.is_read_only:
             fire("txn.abort.begin")
@@ -322,13 +470,21 @@ class TransactionManager:
     # -- bookkeeping -----------------------------------------------------------------
 
     def _finish(self, txn: Transaction) -> None:
+        self.locks.wedged.discard(txn.tid)
         self.locks.release_all(txn.tid)
         self.active.pop(txn.tid, None)
 
     def att_snapshot(self) -> dict[int, tuple[int, int]]:
         """{tid: (last_lsn, phase)} of update transactions, for checkpoints."""
         return {
-            tid: (txn.last_lsn, int(TxnPhase.ACTIVE))
+            tid: (
+                txn.last_lsn,
+                int(
+                    TxnPhase.PREPARED
+                    if txn.state is TxnState.PREPARED
+                    else TxnPhase.ACTIVE
+                ),
+            )
             for tid, txn in self.active.items()
             if txn.logged_begin
         }

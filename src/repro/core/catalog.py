@@ -89,6 +89,11 @@ class Catalog:
     # Page ids reclaimed by archive migration, persisted opportunistically
     # (see repro.storage.freelist for the lazy crash-safety argument).
     free_pids: list[int] = field(default_factory=list)
+    # High-water commit timestamp as (ttime, sn), refreshed at every boot-page
+    # write.  Recovery feeds it to SimClock.adopt_floor so a restarted clock
+    # can never stamp below an already-durable commit time; commits after the
+    # last checkpoint are covered by the redo scan instead.
+    commit_ts_hw: tuple[int, int] = (0, 0)
 
     def add_table(self, schema: TableSchema) -> None:
         if schema.name in self.tables:
@@ -131,6 +136,8 @@ class Catalog:
         # byte-identical to the pre-archive format.
         if self.free_pids:
             doc["free_pids"] = self.free_pids
+        if self.commit_ts_hw != (0, 0):
+            doc["commit_ts_hw"] = list(self.commit_ts_hw)
         return json.dumps(doc, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -147,6 +154,7 @@ class Catalog:
             next_table_id=doc["next_table_id"],
             ptt_root_pid=doc["ptt_root_pid"],
             free_pids=list(doc.get("free_pids", [])),
+            commit_ts_hw=tuple(doc.get("commit_ts_hw", (0, 0))),
         )
         for table_doc in doc["tables"]:
             catalog.add_table(TableSchema.from_json(table_doc))

@@ -209,6 +209,12 @@ class ImmortalDB:
         self.catalog.ptt_root_pid = self.ptt.root_pid
         if getattr(self, "archive", None) is not None:
             self.catalog.free_pids = self.disk.free_list.to_list()
+        # Persist the commit-timestamp high water (clock.now() bounds every
+        # timestamp issued so far).  Recovery adopts it as a clock floor so
+        # no post-restart commit can stamp below a pre-crash one.
+        now = self.clock.now()
+        if (now.ttime, now.sn) > tuple(self.catalog.commit_ts_hw):
+            self.catalog.commit_ts_hw = (now.ttime, now.sn)
         meta = MetaPage(
             META_PAGE_ID, self.catalog.to_blob(), page_size=self.disk.page_size
         )
@@ -433,6 +439,27 @@ class ImmortalDB:
             self.snapshots.unregister(txn.tid)
             return ts
 
+    # Two-phase commit participant surface (used by repro.cluster).  The
+    # single-engine commit path above is untouched: prepare/commit_prepared
+    # only run when a ShardRouter drives a cross-shard transaction.
+
+    def prepare(self, txn: Transaction, gtid: int) -> int:
+        """2PC phase one: durable yes vote; locks held until the decision."""
+        with self._latch:
+            return self.txn_mgr.prepare(txn, gtid)
+
+    def commit_prepared(self, txn: Transaction, ts: Timestamp) -> Timestamp:
+        """2PC phase two (commit): apply the coordinator's timestamp."""
+        with self._latch:
+            out = self.txn_mgr.commit_prepared(txn, ts)
+            self.snapshots.unregister(txn.tid)
+            return out
+
+    @property
+    def in_doubt(self) -> dict[int, Transaction]:
+        """Prepared-but-undecided transactions by gtid (2PC participants)."""
+        return self.txn_mgr.in_doubt
+
     def abort(self, txn: Transaction) -> None:
         with self._latch:
             self.txn_mgr.abort(txn)
@@ -539,6 +566,7 @@ class ImmortalDB:
         self.locks.wait_hooks = old_locks.wait_hooks
         self.txn_mgr.locks = self.locks
         self.txn_mgr.active.clear()
+        self.txn_mgr.in_doubt.clear()
         if self.repair is not None:
             self.repair.on_crash()
         if self.archive is not None:
@@ -556,6 +584,26 @@ class ImmortalDB:
         self._open_tables()
         report = run_recovery(self)
         self.txn_mgr.adopt_tid_floor(self._max_tid_seen())
+        # Restore commit-timestamp monotonicity: the clock must never again
+        # issue a time at or below any durable commit timestamp.  The boot
+        # page's high water covers everything up to the last checkpoint; the
+        # redo scan's max covers commits after it.
+        hw = tuple(self.catalog.commit_ts_hw)
+        floor = Timestamp(*hw) if hw != (0, 0) else None
+        if report.max_commit_ts is not None and (
+            floor is None or report.max_commit_ts > floor
+        ):
+            floor = report.max_commit_ts
+        if floor is not None:
+            self.clock.adopt_floor(floor)
+        # Prepared transactions survive the crash in doubt: locks re-taken,
+        # versions still TID-marked, outcome awaiting the 2PC coordinator.
+        # Must run before the recovery checkpoint below, whose flush would
+        # otherwise try to resolve their TIDs while stamping.
+        if report.in_doubt:
+            self.txn_mgr.reinstate_in_doubt(
+                report.in_doubt, self.locks.lock_record_exclusive
+            )
         self.tsmgr.recovery_fallback = self.clock.now()
         if self.archive is not None:
             # Reload the durable manifest and re-validate the free list

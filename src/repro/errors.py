@@ -316,6 +316,67 @@ class SQLExecutionError(SQLError):
 
 
 # ---------------------------------------------------------------------------
+# Cluster / distributed commit
+# ---------------------------------------------------------------------------
+
+class ClusterError(ImmortalDBError):
+    """Base class for sharded-cluster errors (routing, two-phase commit)."""
+
+
+class InDoubtError(ClusterError):
+    """A read touched data locked by an unresolved prepared transaction.
+
+    After a crash, a participant shard restores every PREPARED transaction
+    with its locks intact (presumed-abort 2PC: the shard cannot decide the
+    outcome alone).  Until the coordinator's decision is replayed, any
+    conflicting access surfaces this typed, retryable error instead of a
+    generic lock conflict — callers back off and retry once resolution runs.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        gtid: int | None = None,
+        shard_id: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.gtid = gtid
+        self.shard_id = shard_id
+
+
+class ShardUnavailableError(ClusterError):
+    """The routed shard is down (crashed and not yet recovered)."""
+
+    def __init__(self, message: str, *, shard_id: int | None = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class CrossShardAbort(ClusterError):
+    """A cross-shard transaction aborted during the prepare phase.
+
+    One participant voted no (conflict, deadlock, validation failure); the
+    coordinator rolled every participant back.  Carries the shard and local
+    transaction that vetoed, so callers can report *where* the conflict was;
+    the whole transaction is retryable from the top.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        victim_tid: int | None = None,
+        shard_id: int | None = None,
+        gtid: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.victim_tid = victim_tid
+        self.shard_id = shard_id
+        self.gtid = gtid
+
+
+# ---------------------------------------------------------------------------
 # Service layer
 # ---------------------------------------------------------------------------
 
@@ -368,3 +429,19 @@ class SessionStateError(ServiceError):
 
 class ConnectionLostError(ServiceError):
     """The transport dropped mid-exchange (client side of a torn wire)."""
+
+
+class PoolExhaustedError(ServiceError):
+    """Every pooled connection is checked out and the pool is at capacity."""
+
+
+class DeadPeerError(ServiceError):
+    """The pool's peer failed enough consecutive dials to be declared dead.
+
+    Acquires fail fast until the quarantine window lapses, at which point
+    the pool probes the peer again (one dial, not a full backoff ladder).
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -105,6 +105,15 @@ class CrashTestConfig:
     # plus the server's idempotency cache must absorb it — the workload
     # completes and matches the oracle *exactly*.
     service_faults: bool = False
+    # Shard mode (PR 10): run the workload against a range-sharded
+    # ShardRouter (N engines, shared timestamp authority, presumed-abort
+    # 2PC for cross-shard writes).  Every third mutation touches two
+    # shards atomically, so crashes land inside the 2PC protocol — between
+    # prepare forces, around the coordinator's decision force, during the
+    # commit fan-out — and recovery must honour the ack-based contract
+    # *cluster-wide*: an acked mutation is visible on every shard, an
+    # un-acked one is all-or-nothing (never split across shards).
+    shards: int = 0
 
     def repro_args(self, crossing: int) -> str:
         parts = [f"--seed {self.seed}"]
@@ -128,6 +137,8 @@ class CrashTestConfig:
             parts.append(f"--flush-batch {self.flush_batch}")
         if self.archive:
             parts.append("--archive")
+        if self.shards:
+            parts.append(f"--shards {self.shards}")
         parts.append(f"--crash-point {crossing}")
         return " ".join(parts)
 
@@ -728,6 +739,221 @@ def replay_service_fault_point(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Shard mode: the same contract, across a range-sharded cluster
+# ---------------------------------------------------------------------------
+
+
+def build_cluster(config: CrashTestConfig):
+    """A fresh in-memory N-shard cluster with the harness table."""
+    from repro.cluster import ShardRouter
+
+    router = ShardRouter.for_int_keys(
+        config.shards,
+        key_space=config.keys,
+        buffer_pages=config.buffer_pages,
+        eviction=config.eviction,
+        flush_batch=config.flush_batch,
+    )
+    table = router.create_table(
+        TABLE,
+        [("k", ColumnType.INT), ("v", ColumnType.TEXT)],
+        key="k",
+        immortal=True,
+    )
+    return router, table
+
+
+def run_shard_workload(
+    router, table, config: CrashTestConfig, oracle: ShadowOracle
+) -> None:
+    """The seeded workload against the cluster.
+
+    Single-shard mutations take the router's fast path (the engine's
+    ordinary commit); every third mutation pairs the key with a partner key
+    on a *different* shard, committed atomically through presumed-abort 2PC.
+    The oracle treats the pair as one mutation, so a crash anywhere inside
+    the protocol leaves exactly two acceptable outcomes — both keys updated
+    or neither — and a half-applied pair is an atomicity finding.
+
+    Explicit begin/commit for the same reason as the single-engine
+    workload: a dead process cannot run the context manager's abort path.
+    """
+    rng = random.Random(config.seed)
+    observed: dict[int, bool] = {}
+
+    def apply_op(txn, key: int, value: str | None) -> None:
+        if value is None:
+            table.delete(txn, key)
+        elif observed.get(key, False):
+            table.update(txn, key, {"v": value})
+        else:
+            table.insert(txn, {"k": key, "v": value})
+
+    for i in range(config.transactions):
+        router.advance_time(rng.uniform(5.0, 250.0))
+        key = rng.randrange(config.keys)
+        delete = observed.get(key, False) and rng.random() < 0.2
+        value = None if delete \
+            else f"s{config.seed}i{i}" + "x" * rng.randrange(config.value_pad)
+        mutation: dict[int, str | None] = {key: value}
+        if i % 3 == 2 and config.keys >= 2 * config.shards:
+            partner = (key + config.keys // config.shards) % config.keys
+            while router.route(partner) is router.route(key):
+                partner = (partner + 1) % config.keys
+            mutation[partner] = (
+                f"s{config.seed}i{i}p" + "x" * rng.randrange(config.value_pad)
+            )
+        oracle.begin(mutation)
+        txn = router.begin()
+        for k, v in mutation.items():
+            apply_op(txn, k, v)
+        router.commit(txn)
+        oracle.commit_observed()
+        for k, v in mutation.items():
+            observed[k] = v is not None
+        if i % config.mark_every == config.mark_every - 1:
+            router.flush_commits()
+            oracle.mark(router.now())
+        if i % config.checkpoint_every == config.checkpoint_every - 1:
+            router.checkpoint(flush=(i // config.checkpoint_every) % 2 == 0)
+
+
+def enumerate_shard_crossings(config: CrashTestConfig) -> list[str]:
+    router, table = build_cluster(config)
+    registry = FailpointRegistry()
+    registry.trace_on()
+    with installed(registry):
+        run_shard_workload(router, table, config, ShadowOracle())
+    assert registry.trace is not None
+    return registry.trace
+
+
+def _cluster_state(router, table) -> dict[int, str]:
+    txn = router.begin()
+    got = {row["k"]: row["v"] for row in table.scan(txn)}
+    router.commit(txn)
+    return got
+
+
+def replay_shard_point(config: CrashTestConfig, crossing: int) -> CrashReport:
+    """Crash the cluster at one crossing; recover in two stages; verify.
+
+    Stage 1 — ``recover(resolve=False)``: every shard runs ARIES recovery
+    but in-doubt prepared transactions stay undecided.  If the crash left
+    any, the in-flight mutation's keys must be lock-protected: a writer
+    probing them gets the typed ``InDoubtError`` (never a half-visible
+    write).  Stage 2 — ``resolve_in_doubt()``: the coordinator's decision
+    log (presumed abort) drives every participant to the same outcome, and
+    the recovered cluster must satisfy the ack-based contract: every acked
+    mutation visible on every shard, the one un-acked mutation
+    all-or-nothing, every as-of mark byte-exact, every shard's integrity
+    clean under strict checks.
+    """
+    from repro.errors import ImmortalDBError, InDoubtError
+
+    if not config.shards:
+        config = replace(config, shards=2)
+    router, table = build_cluster(config)
+    oracle = ShadowOracle()
+    registry = FailpointRegistry()
+    registry.crash_at(crossing)
+    crashed = False
+    name = "<workload end>"
+    try:
+        with installed(registry):
+            run_shard_workload(router, table, config, oracle)
+    except SimulatedCrash as crash:
+        crashed = True
+        name = crash.name
+    report = CrashReport(crossing=crossing, name=name, crashed=crashed)
+    if not crashed:
+        report.problems.append(
+            f"crossing {crossing} was never reached "
+            f"(workload has {registry.crossings} crossings)"
+        )
+        return report
+
+    router.crash()
+    router.recover(resolve=False)
+    table = router.table(TABLE)
+
+    in_doubt = router.in_doubt_gtids()
+    if in_doubt:
+        if oracle.pending is None:
+            report.problems.append(
+                f"in-doubt gtids {sorted(in_doubt)} survive but the oracle "
+                f"has no in-flight mutation"
+            )
+        else:
+            blocked = 0
+            for k in oracle.pending:
+                probe = router.begin()
+                try:
+                    table.update(probe, k, {"v": "probe"})
+                except InDoubtError:
+                    blocked += 1
+                except ImmortalDBError:
+                    pass  # e.g. the pending insert is (correctly) invisible
+                finally:
+                    router.abort(probe)
+            if blocked == 0:
+                report.problems.append(
+                    f"in-doubt gtids {sorted(in_doubt)} but no pending key "
+                    f"is lock-protected"
+                )
+
+    router.resolve_in_doubt()
+
+    for shard in router.shards:
+        try:
+            verify_integrity(shard.db, strict=True)
+        except IntegrityError as exc:
+            report.problems.append(f"shard {shard.shard_id} integrity: {exc}")
+
+    got = _cluster_state(router, table)
+    acceptable = oracle.acceptable_states()
+    if got not in acceptable:
+        report.problems.append(
+            f"cluster-state divergence: recovered {got!r}, "
+            f"acceptable {acceptable!r}"
+        )
+    for ts, snapshot in oracle.marks:
+        as_of = {row["k"]: row["v"] for row in table.scan_as_of(ts)}
+        if as_of != snapshot:
+            report.problems.append(
+                f"as-of divergence at {ts}: recovered {as_of!r}, "
+                f"expected {snapshot!r}"
+            )
+    return report
+
+
+def explore_shards(
+    config: CrashTestConfig,
+    *,
+    max_points: int = 0,
+    progress=None,
+) -> ExplorationResult:
+    """Crash-and-verify at each cluster crossing (or a sample)."""
+    names = enumerate_shard_crossings(config)
+    indices = _sample(len(names), max_points)
+    failures: list[CrashReport] = []
+    by_name: Counter = Counter(names[i] for i in indices)
+    for n, crossing in enumerate(indices):
+        report = replay_shard_point(config, crossing)
+        if not report.ok:
+            failures.append(report)
+        if progress is not None:
+            progress(n + 1, len(indices), report)
+    return ExplorationResult(
+        config=config,
+        total_crossings=len(names),
+        explored=indices,
+        failures=failures,
+        by_name=by_name,
+    )
+
+
 @dataclass
 class ExplorationResult:
     config: CrashTestConfig
@@ -914,6 +1140,13 @@ def main(argv: list[str] | None = None) -> int:
              "effects",
     )
     parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the workload against an N-shard range-partitioned "
+             "cluster: cross-shard mutations commit through presumed-abort "
+             "2PC, and recovery is verified in two stages (in-doubt lock "
+             "retention, then coordinator-driven resolution)",
+    )
+    parser.add_argument(
         "--max-points", type=int, default=0,
         help="explore at most N crossings, evenly sampled (0 = all)",
     )
@@ -932,8 +1165,11 @@ def main(argv: list[str] | None = None) -> int:
         archive=args.archive,
         service=args.service or args.service_faults,
         service_faults=args.service_faults,
+        shards=args.shards,
     )
-    if config.service_faults:
+    if config.shards:
+        replay = replay_shard_point
+    elif config.service_faults:
         replay = replay_service_fault_point
     elif config.service:
         replay = replay_service_point
@@ -959,7 +1195,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  explored {done}/{total} crash points "
                   f"({len(seen_failures)} failures)")
 
-    if config.service_faults:
+    if config.shards:
+        explorer = explore_shards
+    elif config.service_faults:
         explorer = explore_service_faults
     elif config.service:
         explorer = explore_service

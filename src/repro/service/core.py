@@ -49,11 +49,14 @@ from dataclasses import dataclass
 
 from repro.core.rowcodec import ColumnType
 from repro.errors import (
+    CrossShardAbort,
     ImmortalDBError,
+    InDoubtError,
     PageQuarantinedError,
     ProtocolError,
     ServiceOverloadedError,
     SessionStateError,
+    ShardUnavailableError,
 )
 from repro.faults.failpoints import fire
 from repro.service import protocol
@@ -61,6 +64,13 @@ from repro.service.admission import AdmissionController
 from repro.service.session import ServiceSession
 from repro.storage.disk import RetryPolicy
 from repro.workers.pool import RETRYABLE_ERRORS, RetriesExhaustedError
+
+#: Cluster conditions the *client* should retry but the server must not
+#: spin on: an in-doubt conflict clears only when 2PC resolution runs, and
+#: a down shard comes back only when an operator recovers it.  A
+#: cross-shard abort is an ordinary conflict casualty, so it joins the
+#: server-side retry loop instead.
+CLUSTER_WAIT_ERRORS = (InDoubtError, ShardUnavailableError)
 
 
 @dataclass
@@ -374,7 +384,15 @@ class ServiceCore:
                 result = self._call(lambda: session.sql.execute(sql))
                 error = None
                 break
-            except RETRYABLE_ERRORS + (RetriesExhaustedError,) as exc:
+            except CLUSTER_WAIT_ERRORS as exc:
+                # Retryable for the client, pointless for the server: the
+                # condition clears on 2PC resolution / shard recovery, not
+                # on a fresh attempt a few milliseconds later.
+                error = exc
+                break
+            except RETRYABLE_ERRORS + (
+                RetriesExhaustedError, CrossShardAbort,
+            ) as exc:
                 error = exc
                 if not retryable or attempt > self.max_retries:
                     break
@@ -391,7 +409,9 @@ class ServiceCore:
                 break
         if error is not None:
             is_retryable = isinstance(
-                error, RETRYABLE_ERRORS + (RetriesExhaustedError,)
+                error,
+                RETRYABLE_ERRORS + (RetriesExhaustedError, CrossShardAbort)
+                + CLUSTER_WAIT_ERRORS,
             )
             return protocol.error_response(
                 request_id, error, retryable=is_retryable

@@ -1,0 +1,261 @@
+"""Client-side connection pooling with health checks and dead-peer detection.
+
+A :class:`ClientPool` keeps up to ``max_size`` connections to one service
+peer and hands them out LIFO (the most recently used connection is the most
+likely to still be warm).  Three robustness behaviours ride on top of the
+plain checkout/checkin cycle:
+
+* **Health checks.**  A connection that sat idle longer than
+  ``check_idle_s`` is pinged before being handed out; a failed ping
+  discards it (dead-connection detection) and the acquire falls through to
+  the next idle connection or a fresh dial.  Checkouts never return a
+  connection the pool has reason to believe is dead.
+* **Seeded-backoff reconnect.**  A failed dial is retried through the same
+  deterministic :class:`~repro.storage.disk.RetryPolicy` ladder the rest of
+  the system uses, so connection storms back off reproducibly under test.
+* **Dead-peer detection.**  ``dead_after`` consecutive dial failures
+  declare the *peer* (not just a connection) dead; subsequent acquires fail
+  fast with :class:`~repro.errors.DeadPeerError` instead of stacking dial
+  timeouts, until a quarantine window lapses and one probe dial is allowed
+  through.
+
+The pool is transport-agnostic: anything with ``ping()``/``close()`` works,
+so tests drive it with in-process fakes and production wires it to
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ConnectionLostError,
+    DeadPeerError,
+    PoolExhaustedError,
+    ServiceError,
+)
+from repro.storage.disk import RetryPolicy
+
+
+@dataclass
+class PoolStats:
+    dials: int = 0              # factory calls that succeeded
+    dial_failures: int = 0      # factory calls that raised
+    reuses: int = 0             # checkouts satisfied from the idle list
+    health_checks: int = 0      # pings sent to idle connections
+    dead_connections: int = 0   # idle connections discarded by a failed ping
+    dead_peer_trips: int = 0    # times the peer was declared dead
+    exhausted: int = 0          # acquires refused at capacity
+
+
+@dataclass
+class _Pooled:
+    """One pooled connection plus the bookkeeping health checks need."""
+
+    client: object
+    idle_since: float = 0.0
+    uses: int = 0
+
+
+class ClientPool:
+    """A bounded pool of connections to one service peer."""
+
+    def __init__(
+        self,
+        factory,
+        *,
+        max_size: int = 4,
+        check_idle_s: float = 5.0,
+        retry_policy: RetryPolicy | None = None,
+        retry_step_ms: float = 2.0,
+        dead_after: int = 3,
+        dead_retry_s: float = 1.0,
+        now=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError("a pool needs at least one slot")
+        self.factory = factory
+        self.max_size = max_size
+        self.check_idle_s = check_idle_s
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=3)
+        self.retry_step_ms = retry_step_ms
+        self.dead_after = dead_after
+        self.dead_retry_s = dead_retry_s
+        self._now = now
+        self._sleep = sleep
+        self._idle: list[_Pooled] = []     # LIFO: hottest connection last
+        self._checked_out = 0
+        self._consecutive_dial_failures = 0
+        self._dead_until: float | None = None
+        self.stats = PoolStats()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def idle(self) -> int:
+        return len(self._idle)
+
+    @property
+    def checked_out(self) -> int:
+        return self._checked_out
+
+    @property
+    def peer_dead(self) -> bool:
+        return (
+            self._dead_until is not None and self._now() < self._dead_until
+        )
+
+    # -- checkout / checkin ---------------------------------------------------
+
+    def acquire(self):
+        """Check out a healthy connection (reuse, else dial).
+
+        Raises :class:`PoolExhaustedError` at capacity and
+        :class:`DeadPeerError` while the peer is quarantined.
+        """
+        while self._idle:
+            pooled = self._idle.pop()
+            if self._healthy(pooled):
+                pooled.uses += 1
+                self._checked_out += 1
+                self.stats.reuses += 1
+                return pooled.client
+        if self._checked_out >= self.max_size:
+            self.stats.exhausted += 1
+            raise PoolExhaustedError(
+                f"all {self.max_size} connections are checked out"
+            )
+        client = self._dial()
+        self._checked_out += 1
+        return client
+
+    def release(self, client, *, discard: bool = False) -> None:
+        """Return a connection; ``discard=True`` closes it instead (the
+        caller saw it fail and the pool must not hand it to anyone else)."""
+        self._checked_out = max(0, self._checked_out - 1)
+        if discard:
+            self._close_quietly(client)
+            return
+        self._idle.append(
+            _Pooled(client=client, idle_since=self._now())
+        )
+
+    class _Lease:
+        def __init__(self, pool: "ClientPool") -> None:
+            self.pool = pool
+            self.client = pool.acquire()
+
+        def __enter__(self):
+            return self.client
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            # A connection that just raised a transport error is poisoned;
+            # anything else (SQL errors included) leaves it reusable.
+            broken = exc is not None and isinstance(
+                exc, (ConnectionLostError, OSError)
+            )
+            self.pool.release(self.client, discard=broken)
+
+    def connection(self) -> "ClientPool._Lease":
+        """``with pool.connection() as client: ...`` — checkout scoped to
+        the block; transport failures discard the connection on exit."""
+        return self._Lease(self)
+
+    def close(self) -> None:
+        """Close every idle connection (checked-out ones close on release)."""
+        while self._idle:
+            self._close_quietly(self._idle.pop().client)
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- health ---------------------------------------------------------------
+
+    def _healthy(self, pooled: _Pooled) -> bool:
+        """Ping a connection that has been idle long enough to distrust."""
+        if self._now() - pooled.idle_since < self.check_idle_s:
+            return True
+        self.stats.health_checks += 1
+        try:
+            pooled.client.ping()
+            return True
+        except (ServiceError, OSError):
+            self.stats.dead_connections += 1
+            self._close_quietly(pooled.client)
+            return False
+
+    def check_idle(self) -> int:
+        """Proactively ping every idle connection; returns survivors."""
+        survivors: list[_Pooled] = []
+        while self._idle:
+            pooled = self._idle.pop()
+            self.stats.health_checks += 1
+            try:
+                pooled.client.ping()
+            except (ServiceError, OSError):
+                self.stats.dead_connections += 1
+                self._close_quietly(pooled.client)
+                continue
+            pooled.idle_since = self._now()
+            survivors.append(pooled)
+        survivors.reverse()   # preserve LIFO order
+        self._idle = survivors
+        return len(survivors)
+
+    # -- dialing --------------------------------------------------------------
+
+    def _dial(self):
+        if self._dead_until is not None:
+            if self._now() < self._dead_until:
+                raise DeadPeerError(
+                    f"peer declared dead after "
+                    f"{self._consecutive_dial_failures} consecutive dial "
+                    f"failures; retry after {self.dead_retry_s:.3f}s",
+                    retry_after_s=self._dead_until - self._now(),
+                )
+            # Quarantine lapsed: allow exactly one probe dial through.
+            self._dead_until = None
+        last: Exception | None = None
+        attempts = (
+            1 if self._consecutive_dial_failures >= self.dead_after
+            else self.retry_policy.max_attempts
+        )
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                steps = self.retry_policy.backoff_steps(attempt - 1)
+                if self.retry_step_ms:
+                    self._sleep(steps * self.retry_step_ms / 1000.0)
+            try:
+                client = self.factory()
+            except (ServiceError, OSError) as exc:
+                last = exc
+                self._consecutive_dial_failures += 1
+                self.stats.dial_failures += 1
+                continue
+            self._consecutive_dial_failures = 0
+            self.stats.dials += 1
+            return client
+        if self._consecutive_dial_failures >= self.dead_after:
+            self._dead_until = self._now() + self.dead_retry_s
+            self.stats.dead_peer_trips += 1
+            raise DeadPeerError(
+                f"peer declared dead after "
+                f"{self._consecutive_dial_failures} consecutive dial "
+                f"failures",
+                retry_after_s=self.dead_retry_s,
+            ) from last
+        raise ConnectionLostError(
+            f"dial failed {attempts} times: {last}"
+        ) from last
+
+    @staticmethod
+    def _close_quietly(client) -> None:
+        try:
+            client.close()
+        except (ServiceError, OSError):
+            pass

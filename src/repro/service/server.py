@@ -58,9 +58,15 @@ class SQLService:
         self.db = db
         self.host = host
         self.port = port
+        # A sharded backend (ShardRouter) cannot sit behind a WorkerPool:
+        # the pool keys its bookkeeping by TID, and branch TIDs collide
+        # across shards (each shard numbers its own).  Its facade omits
+        # the durable-commit hook seam on purpose; statements then run
+        # inline on executor threads.
+        supports_pool = hasattr(db.txn_mgr, "durable_commit_hook")
         self.pool = (
             WorkerPool(db, pool_workers, seed=seed, queue_depth=queue_depth)
-            if pool_workers > 0 else None
+            if pool_workers > 0 and supports_pool else None
         )
         if self.pool is None:
             # No pool means bodies run directly on executor threads; the

@@ -300,6 +300,7 @@ class CheckpointBegin(LogRecord):
 class TxnPhase(enum.IntEnum):
     ACTIVE = 0
     ABORTING = 1
+    PREPARED = 2   # voted yes in 2PC; outcome owned by the coordinator
 
 
 @dataclass
@@ -460,11 +461,122 @@ class InPlaceUpdate(LogRecord):
         )
 
 
+@dataclass
+class PrepareTxn(LogRecord):
+    """Participant vote record for two-phase commit (presumed abort).
+
+    Force-logged before the participant answers "prepared": after a crash
+    the transaction must be restored *in doubt* — its write locks re-taken,
+    its versions left TID-marked — because only the coordinator knows the
+    outcome.  The record therefore carries everything lock reinstatement
+    needs: the global transaction id and the (table_id, key) write set.
+    ``ptt`` remembers whether the transaction touched an immortal table, so
+    a post-recovery commit decision writes the same PTT entry the original
+    commit would have.
+    """
+
+    TAG = 13
+    gtid: int = 0
+    ptt: bool = False
+    writes: list[tuple[int, bytes]] = field(default_factory=list)
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        chunks: list[bytes] = [
+            self.gtid.to_bytes(8, "big"),
+            (b"\x01" if self.ptt else b"\x00"),
+            len(self.writes).to_bytes(4, "big"),
+        ]
+        for table_id, key in self.writes:
+            chunks.append(table_id.to_bytes(4, "big"))
+            _put_bytes(chunks, key, 2)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "PrepareTxn":
+        """Decode this record type's body fields from a log image."""
+        gtid = body.u(8)
+        ptt = bool(body.u(1))
+        writes = []
+        for _ in range(body.u(4)):
+            table_id = body.u(4)
+            writes.append((table_id, body.blob(2)))
+        return cls(tid=tid, prev_lsn=prev_lsn, gtid=gtid, ptt=ptt, writes=writes)
+
+
+@dataclass
+class CoordDecision(LogRecord):
+    """Coordinator outcome record for a cross-shard transaction.
+
+    Commit decisions are forced before any participant applies them — the
+    decision *is* the commit point — and carry the authority-issued commit
+    timestamp so post-crash resolution stamps the identical time on every
+    shard.  Abort decisions are logged unforced: presumed abort means a lost
+    abort record resolves to abort anyway.
+    """
+
+    TAG = 14
+    gtid: int = 0
+    commit: bool = False
+    ttime: int = 0
+    sn: int = 0
+    shard_ids: list[int] = field(default_factory=list)
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        chunks: list[bytes] = [
+            self.gtid.to_bytes(8, "big"),
+            (b"\x01" if self.commit else b"\x00"),
+            self.ttime.to_bytes(8, "big"),
+            self.sn.to_bytes(4, "big"),
+            len(self.shard_ids).to_bytes(2, "big"),
+        ]
+        for shard_id in self.shard_ids:
+            chunks.append(shard_id.to_bytes(2, "big"))
+        return b"".join(chunks)
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "CoordDecision":
+        """Decode this record type's body fields from a log image."""
+        gtid = body.u(8)
+        commit = bool(body.u(1))
+        ttime = body.u(8)
+        sn = body.u(4)
+        shard_ids = [body.u(2) for _ in range(body.u(2))]
+        return cls(
+            tid=tid, prev_lsn=prev_lsn, gtid=gtid, commit=commit,
+            ttime=ttime, sn=sn, shard_ids=shard_ids,
+        )
+
+
+@dataclass
+class CoordForget(LogRecord):
+    """Every participant acknowledged the decision; the entry can be dropped.
+
+    Replay stops tracking the gtid once its forget record appears, keeping
+    the coordinator's in-memory decision table bounded (the presumed-abort
+    "forget" step).
+    """
+
+    TAG = 15
+    gtid: int = 0
+
+    def body_bytes(self) -> bytes:
+        """Serialize this record type's body fields."""
+        return self.gtid.to_bytes(8, "big")
+
+    @classmethod
+    def from_body(cls, tid: int, prev_lsn: int, body: _Reader) -> "CoordForget":
+        """Decode this record type's body fields from a log image."""
+        return cls(tid=tid, prev_lsn=prev_lsn, gtid=body.u(8))
+
+
 _RECORD_TYPES: dict[int, type[LogRecord]] = {
     cls.TAG: cls
     for cls in (
         BeginTxn, CommitTxn, AbortTxn, AbortEnd, VersionOp,
         MultiPageImage, CompensationRecord, CheckpointBegin,
         CheckpointEnd, PTTDelete, StampOp, InPlaceUpdate,
+        PrepareTxn, CoordDecision, CoordForget,
     )
 }

@@ -42,6 +42,7 @@ from repro.wal.records import (
     CompensationRecord,
     InPlaceUpdate,
     MultiPageImage,
+    PrepareTxn,
     PTTDelete,
     StampOp,
     TxnPhase,
@@ -75,6 +76,20 @@ class RecoveryReport:
     committed_restored: int = 0
     losers: list[int] = field(default_factory=list)
     undo_actions: int = 0
+    in_doubt: list[tuple[int, int]] = field(default_factory=list)
+    """[(tid, prepare_lsn)] for transactions prepared but undecided at the
+    crash.  Undo leaves them alone — the engine reinstates them with their
+    locks, and the 2PC coordinator decides their fate."""
+    max_commit_ts: Timestamp | None = None
+    """Largest commit timestamp seen during the redo scan, used (with the
+    checkpointed high water) to restore clock monotonicity after restart."""
+    first_commit_lsn: int | None = None
+    """Earliest CommitTxn seen by analysis.  Redo must scan from no later
+    than this: restoring a committed TID→timestamp mapping (and its PTT
+    entry) happens by replaying the commit record, and a commit that lands
+    after the last checkpoint with no dirty page behind it — e.g. the
+    resolution of an in-doubt prepared transaction — would otherwise fall
+    outside the dirty-page redo window and lose its mapping."""
 
 
 def run_recovery(support: RecoverySupport) -> RecoveryReport:
@@ -114,8 +129,12 @@ def _analysis(
             att[rec.tid] = (rec.lsn, int(TxnPhase.ACTIVE))
         elif isinstance(rec, CommitTxn):
             att.pop(rec.tid, None)
+            if report.first_commit_lsn is None:
+                report.first_commit_lsn = rec.lsn
         elif isinstance(rec, AbortTxn):
             att[rec.tid] = (rec.lsn, int(TxnPhase.ABORTING))
+        elif isinstance(rec, PrepareTxn):
+            att[rec.tid] = (rec.lsn, int(TxnPhase.PREPARED))
         elif isinstance(rec, AbortEnd):
             att.pop(rec.tid, None)
         elif isinstance(rec, (VersionOp, InPlaceUpdate, StampOp)):
@@ -172,7 +191,13 @@ def _redo(
     support: RecoverySupport, report: RecoveryReport, dpt: dict[int, int]
 ) -> None:
     log, buffer = support.log, support.buffer
-    redo_start = min(dpt.values()) if dpt else log.end_lsn
+    candidates = list(dpt.values())
+    if report.first_commit_lsn is not None:
+        # Replaying from an earlier LSN is safe (page-LSN checks make the
+        # extra VersionOps no-ops) and guarantees every post-checkpoint
+        # commit record re-runs its PTT/VTT restoration.
+        candidates.append(report.first_commit_lsn)
+    redo_start = min(candidates) if candidates else log.end_lsn
     report.redo_scan_start = redo_start
 
     for rec in log.records_from(redo_start):
@@ -182,6 +207,8 @@ def _redo(
             if rec.ptt:
                 support.ptt.insert(rec.tid, ts, rec_lsn=rec.lsn)
             report.committed_restored += 1
+            if report.max_commit_ts is None or ts > report.max_commit_ts:
+                report.max_commit_ts = ts
         elif isinstance(rec, PTTDelete):
             support.ptt.delete(rec.subject_tid, rec_lsn=rec.lsn)
         elif isinstance(rec, VersionOp):
@@ -255,6 +282,18 @@ def _undo(
     att: dict[int, tuple[int, int]],
 ) -> None:
     log, buffer = support.log, support.buffer
+    # Prepared transactions are NOT losers: they voted yes, their outcome
+    # belongs to the coordinator.  Undo must not touch their updates — the
+    # engine reinstates them in doubt (locks held, versions TID-marked)
+    # until resolution commits or aborts them.
+    report.in_doubt = sorted(
+        (tid, last) for tid, (last, phase) in att.items()
+        if phase == int(TxnPhase.PREPARED)
+    )
+    att = {
+        tid: entry for tid, entry in att.items()
+        if entry[1] != int(TxnPhase.PREPARED)
+    }
     report.losers = sorted(att)
     # next LSN to undo for each loser transaction
     cursor: dict[int, int] = {tid: last for tid, (last, _) in att.items()}

@@ -1,0 +1,250 @@
+"""Client pool: checkout/checkin, health checks, dead-peer detection.
+
+The pool is transport-agnostic, so most tests drive it with scripted fake
+clients (deterministic, no sockets); one end-to-end test wires it to real
+``ServiceClient`` connections against a live ``SQLService``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConnectionLostError,
+    DeadPeerError,
+    PoolExhaustedError,
+)
+from repro.service.pool import ClientPool
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self.t
+
+    def sleep(self, s: float) -> None:
+        self.sleeps.append(s)
+        self.t += s
+
+
+class FakeClient:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.pings = 0
+        self.closed = False
+        self.ping_fails = False
+
+    def ping(self) -> dict:
+        self.pings += 1
+        if self.ping_fails:
+            raise ConnectionLostError(f"{self.name}: peer gone")
+        return {"status": "ok"}
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class FakeFactory:
+    """Scripted dialer: each call succeeds or raises per the script."""
+
+    def __init__(self, script: list[bool] | None = None) -> None:
+        self.script = script   # None = always succeed
+        self.calls = 0
+        self.made: list[FakeClient] = []
+
+    def __call__(self) -> FakeClient:
+        self.calls += 1
+        if self.script is not None:
+            ok = self.script.pop(0) if self.script else True
+            if not ok:
+                raise ConnectionLostError("dial refused")
+        client = FakeClient(f"conn{self.calls}")
+        self.made.append(client)
+        return client
+
+
+def make_pool(factory=None, **kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("retry_step_ms", 1.0)
+    pool = ClientPool(
+        factory or FakeFactory(),
+        now=clock.now, sleep=clock.sleep, **kwargs,
+    )
+    return pool, clock
+
+
+class TestCheckout:
+    def test_acquire_dials_then_reuses_lifo(self):
+        factory = FakeFactory()
+        pool, clock = make_pool(factory, max_size=2)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert factory.calls == 2
+        pool.release(b)
+        pool.release(a)
+        assert pool.idle == 2
+        # LIFO: the most recently released connection comes back first.
+        assert pool.acquire() is a
+        assert factory.calls == 2
+        assert pool.stats.reuses == 1
+
+    def test_capacity_is_enforced(self):
+        pool, clock = make_pool(max_size=1)
+        held = pool.acquire()
+        with pytest.raises(PoolExhaustedError):
+            pool.acquire()
+        assert pool.stats.exhausted == 1
+        pool.release(held)
+        assert pool.acquire() is held
+
+    def test_release_discard_closes_and_frees_the_slot(self):
+        factory = FakeFactory()
+        pool, clock = make_pool(factory, max_size=1)
+        client = pool.acquire()
+        pool.release(client, discard=True)
+        assert client.closed
+        assert pool.idle == 0
+        assert pool.acquire() is not client   # fresh dial, slot was freed
+
+    def test_connection_context_manager_returns_on_success(self):
+        pool, clock = make_pool(max_size=1)
+        with pool.connection() as client:
+            assert client.ping()["status"] == "ok"
+        assert pool.idle == 1
+
+    def test_connection_context_manager_discards_on_transport_error(self):
+        pool, clock = make_pool(max_size=1)
+        with pytest.raises(ConnectionLostError):
+            with pool.connection() as client:
+                raise ConnectionLostError("wire died mid-request")
+        assert pool.idle == 0
+        assert client.closed
+
+    def test_close_shuts_idle_connections(self):
+        factory = FakeFactory()
+        pool, clock = make_pool(factory, max_size=3)
+        conns = [pool.acquire() for _ in range(3)]
+        for c in conns:
+            pool.release(c)
+        pool.close()
+        assert all(c.closed for c in conns)
+        assert pool.idle == 0
+
+
+class TestHealthChecks:
+    def test_fresh_idle_connection_skips_the_ping(self):
+        pool, clock = make_pool(check_idle_s=5.0)
+        client = pool.acquire()
+        pool.release(client)
+        assert pool.acquire() is client
+        assert client.pings == 0
+
+    def test_stale_idle_connection_is_pinged(self):
+        pool, clock = make_pool(check_idle_s=5.0)
+        client = pool.acquire()
+        pool.release(client)
+        clock.t += 10.0
+        assert pool.acquire() is client
+        assert client.pings == 1
+        assert pool.stats.health_checks == 1
+
+    def test_dead_idle_connection_is_discarded_and_replaced(self):
+        factory = FakeFactory()
+        pool, clock = make_pool(factory, check_idle_s=5.0, max_size=2)
+        client = pool.acquire()
+        pool.release(client)
+        clock.t += 10.0
+        client.ping_fails = True
+        replacement = pool.acquire()
+        assert replacement is not client
+        assert client.closed
+        assert pool.stats.dead_connections == 1
+
+    def test_check_idle_sweeps_the_whole_pool(self):
+        factory = FakeFactory()
+        pool, clock = make_pool(factory, max_size=3)
+        conns = [pool.acquire() for _ in range(3)]
+        for c in conns:
+            pool.release(c)
+        conns[1].ping_fails = True
+        assert pool.check_idle() == 2
+        assert pool.idle == 2
+        assert conns[1].closed
+        assert pool.stats.dead_connections == 1
+
+
+class TestReconnectAndDeadPeer:
+    def test_dial_retries_with_seeded_backoff(self):
+        factory = FakeFactory(script=[False, False, True])
+        pool, clock = make_pool(factory)
+        client = pool.acquire()
+        assert client is factory.made[0]
+        assert factory.calls == 3
+        assert pool.stats.dial_failures == 2
+        assert len(clock.sleeps) == 2          # backed off before retries
+        assert clock.sleeps == sorted(clock.sleeps)   # non-decreasing ladder
+
+    def test_peer_declared_dead_after_consecutive_failures(self):
+        factory = FakeFactory(script=[False] * 10)
+        pool, clock = make_pool(factory, dead_after=3, dead_retry_s=2.0)
+        with pytest.raises(DeadPeerError) as exc_info:
+            pool.acquire()
+        assert exc_info.value.retry_after_s == 2.0
+        assert pool.peer_dead
+        assert pool.stats.dead_peer_trips == 1
+        # While quarantined: fail fast, no dialing at all.
+        dials_before = factory.calls
+        with pytest.raises(DeadPeerError):
+            pool.acquire()
+        assert factory.calls == dials_before
+
+    def test_quarantine_lapses_into_single_probe_dial(self):
+        factory = FakeFactory(script=[False, False, False, True])
+        pool, clock = make_pool(factory, dead_after=3, dead_retry_s=2.0)
+        with pytest.raises(DeadPeerError):
+            pool.acquire()
+        clock.t += 3.0
+        assert not pool.peer_dead
+        dials_before = factory.calls
+        client = pool.acquire()               # the probe dial succeeds
+        assert factory.calls == dials_before + 1   # exactly one probe
+        assert client is factory.made[-1]
+        assert not pool.peer_dead
+
+    def test_failed_probe_requarantines(self):
+        factory = FakeFactory(script=[False] * 10)
+        pool, clock = make_pool(factory, dead_after=3, dead_retry_s=2.0)
+        with pytest.raises(DeadPeerError):
+            pool.acquire()
+        clock.t += 3.0
+        with pytest.raises(DeadPeerError):
+            pool.acquire()
+        assert pool.peer_dead
+        assert pool.stats.dead_peer_trips == 2
+
+
+class TestEndToEnd:
+    def test_pool_serves_sql_over_real_sockets(self):
+        from repro.core.engine import ImmortalDB
+        from repro.service.client import ServiceClient
+        from repro.service.server import ThreadedService
+
+        db = ImmortalDB()
+        db.sql("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        with ThreadedService(db, port=0, pool_workers=2) as svc:
+            pool = ClientPool(
+                lambda: ServiceClient("127.0.0.1", svc.port),
+                max_size=2,
+            )
+            with pool.connection() as client:
+                ok = client.execute("INSERT INTO t (k, v) VALUES (1, 'a')")
+                assert ok["status"] == "ok"
+            with pool.connection() as client:
+                got = client.execute("SELECT k, v FROM t")
+                assert got["rows"] == [{"k": 1, "v": "a"}]
+            assert pool.stats.dials == 1      # second checkout reused
+            assert pool.stats.reuses == 1
+            pool.close()
